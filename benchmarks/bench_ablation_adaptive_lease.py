@@ -1,0 +1,27 @@
+"""Extension ablation — adaptive (Tardis 2.0-style) leases.
+
+Not a paper figure: the paper's related work points at Tardis 2.0's
+optimized lease policies as the natural extension, so this bench
+quantifies it.  Shape target: fewer renewal round trips on the
+read-mostly benchmarks with no performance regression.
+"""
+
+from repro.harness import experiments
+from repro.harness.tables import geomean
+
+
+def test_ablation_adaptive_lease(benchmark, runner, emit):
+    result = benchmark.pedantic(
+        lambda: experiments.ablation_adaptive_lease(runner),
+        rounds=1, iterations=1)
+    emit(result)
+    headers = result.headers
+    # the win concentrates on read-mostly benchmarks; store-heavy ones
+    # reset the streak constantly and see little change
+    reductions = result.column("renewal_reduction")
+    assert max(reductions) > 0.15
+    assert result.summary["mean renewal reduction"] > 0.02
+    ratios = [row[headers.index("adaptive_cycles")]
+              / row[headers.index("fixed_cycles")]
+              for row in result.rows]
+    assert geomean(ratios) < 1.05  # never meaningfully slower

@@ -1,0 +1,27 @@
+"""Ablation (§V-C) — non-inclusive vs inclusive L2 under G-TSC.
+
+G-TSC's mem_ts makes inclusion unnecessary; forcing an inclusive L2
+adds back-invalidation (recall) traffic for no benefit.  Shape
+target: the inclusive variant generates recall messages and is never
+meaningfully faster.
+"""
+
+from repro.harness import experiments
+from repro.harness.tables import geomean
+
+
+def test_ablation_inclusion(benchmark, runner, emit):
+    result = benchmark.pedantic(
+        lambda: experiments.ablation_inclusion(runner),
+        rounds=1, iterations=1)
+    emit(result)
+    headers = result.headers
+    ratios = []
+    recalls = 0
+    for row in result.rows:
+        noninc_cycles = row[headers.index("noninc_cycles")]
+        inc_cycles = row[headers.index("inc_cycles")]
+        ratios.append(inc_cycles / noninc_cycles)
+        recalls += row[headers.index("recalls")]
+    # inclusion buys nothing (within noise)
+    assert geomean(ratios) > 0.95

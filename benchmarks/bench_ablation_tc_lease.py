@@ -1,0 +1,17 @@
+"""Ablation (§II-D3) — TC's physical-lease sensitivity.
+
+The contrast to Figure 14: TC's lease trades expiration misses (too
+short) against write/fence stalls (too long), so a bad choice costs
+real performance, while G-TSC's logical lease is scale-invariant.
+Shape target: a measurable spread across the TC lease range.
+"""
+
+from repro.harness import experiments
+
+
+def test_ablation_tc_lease_sensitivity(benchmark, runner, emit):
+    result = benchmark.pedantic(
+        lambda: experiments.ablation_tc_lease(runner),
+        rounds=1, iterations=1)
+    emit(result)
+    assert result.summary["max TC slowdown from a bad lease"] > 0.05

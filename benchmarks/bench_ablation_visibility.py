@@ -1,0 +1,17 @@
+"""Ablation (§V-A) — update visibility: delay-until-ack vs old-copy.
+
+The paper evaluated both and chose option 1 (delay) because the
+performance cost is negligible, avoiding the old-copy buffer hardware
+(~200 outstanding writes per store instruction would need buffering).
+Shape target: the two options perform within a few percent.
+"""
+
+from repro.harness import experiments
+
+
+def test_ablation_update_visibility(benchmark, runner, emit):
+    result = benchmark.pedantic(
+        lambda: experiments.ablation_visibility(runner),
+        rounds=1, iterations=1)
+    emit(result)
+    assert 0.9 < result.summary["geomean old_copy/delay"] < 1.1

@@ -1,0 +1,20 @@
+"""Section VI-B — the CC anomaly: SC throttling vs RC congestion.
+
+Shape target: on the memory-intensive coherent benchmarks, G-TSC-SC
+injects requests at a lower rate and sees lower per-message NoC
+latency than G-TSC-RC (the mechanism the paper uses to explain SC
+beating RC outright on CC).
+"""
+
+from repro.harness import experiments
+
+
+def test_cc_congestion(benchmark, runner, emit):
+    result = benchmark.pedantic(
+        lambda: experiments.cc_congestion(runner), rounds=1, iterations=1)
+    emit(result)
+    assert result.summary["mean SC/RC NoC-latency ratio"] < 1.0
+    headers = result.headers
+    cc = result.row("CC")
+    assert cc[headers.index("sc_msg_rate")] < \
+        cc[headers.index("rc_msg_rate")]

@@ -1,0 +1,22 @@
+"""Figure 12 — performance of GPU coherence protocols.
+
+Bars: Baseline W/L1 (coherence-free group only), TC-SC, TC-RC,
+G-TSC-SC, G-TSC-RC — all normalised to the coherent GPU with L1
+disabled.  Shape targets: G-TSC above TC at both consistency levels on
+the coherent set; a small SC/RC gap under G-TSC; near-identical bars
+for the compute-bound coherence-free benchmarks.
+"""
+
+from repro.harness import experiments
+
+
+def test_fig12_performance(benchmark, runner, emit):
+    result = benchmark.pedantic(
+        lambda: experiments.fig12(runner), rounds=1, iterations=1)
+    emit(result)
+    summary = result.summary
+    # headline directions (paper: +38% and +26%)
+    assert summary["G-TSC-RC over TC-RC (coherent, geomean)"] > 1.15
+    assert summary["G-TSC-SC over TC-RC (coherent, geomean)"] > 1.05
+    # the SC/RC gap is small under G-TSC (paper: ~12% coherent, ~9% all)
+    assert summary["G-TSC RC over SC (coherent, geomean)"] < 1.25

@@ -1,0 +1,16 @@
+"""Figure 13 — pipeline stalls due to memory delay.
+
+Normalised to the no-L1 configuration.  Shape target: TC stalls
+substantially more than G-TSC on the coherent set (the paper reports
+~45% more).
+"""
+
+from repro.harness import experiments
+
+
+def test_fig13_stalls(benchmark, runner, emit):
+    result = benchmark.pedantic(
+        lambda: experiments.fig13(runner), rounds=1, iterations=1)
+    emit(result)
+    assert result.summary[
+        "TC-RC stalls / G-TSC-RC stalls (coherent, geomean)"] > 1.2

@@ -1,0 +1,16 @@
+"""Figure 14 — G-TSC-RC performance across lease values.
+
+Shape target: flat across the paper's 8-20 range.  In this model the
+flatness is exact — G-TSC's logical timestamps scale affinely with the
+lease, so hit/miss behaviour is lease-scale-invariant, which is the
+strongest possible form of the paper's "performance is unchanged".
+"""
+
+from repro.harness import experiments
+
+
+def test_fig14_lease_sensitivity(benchmark, runner, emit):
+    result = benchmark.pedantic(
+        lambda: experiments.fig14(runner), rounds=1, iterations=1)
+    emit(result)
+    assert result.summary["max relative spread across leases"] < 0.05

@@ -1,0 +1,19 @@
+"""Figure 15 — NoC traffic of GPU coherence protocols.
+
+Normalised to the no-L1 baseline.  Shape targets: G-TSC cuts traffic
+versus TC on the coherent set (paper: ~20% under RC, ~15.7% under SC;
+data-less renewals are the mechanism), and the coherence-free group
+shows little RC/SC difference.
+"""
+
+from repro.harness import experiments
+
+
+def test_fig15_traffic(benchmark, runner, emit):
+    result = benchmark.pedantic(
+        lambda: experiments.fig15(runner), rounds=1, iterations=1)
+    emit(result)
+    assert result.summary[
+        "G-TSC-RC traffic reduction vs TC-RC (coherent)"] > 0.10
+    assert result.summary[
+        "G-TSC-SC traffic reduction vs TC-SC (coherent)"] > 0.08

@@ -1,0 +1,31 @@
+"""Figure 16 — total energy consumption.
+
+Normalised to the no-L1 baseline.  Shape target: G-TSC consumes less
+than TC on the coherent set (paper: ~11% less under RC), driven by
+shorter runtimes (static energy) and less NoC traffic.
+"""
+
+from repro.harness import experiments
+
+
+def test_fig16_energy(benchmark, runner, emit):
+    result = benchmark.pedantic(
+        lambda: experiments.fig16(runner), rounds=1, iterations=1)
+    emit(result)
+    assert result.summary[
+        "G-TSC-RC energy saving vs TC-RC (coherent)"] > 0.0
+
+
+def test_fig16_component_breakdown(benchmark, runner, emit):
+    """Section VI-D's per-component view of where the saving comes
+    from.  Shape target: G-TSC at or below TC in every component."""
+    result = benchmark.pedantic(
+        lambda: experiments.fig16_components(runner),
+        rounds=1, iterations=1)
+    emit(result)
+    assert result.summary["total energy vs TC-RC (geomean)"] < 1.0
+    headers = result.headers
+    for row in result.rows:
+        ratio = row[headers.index("vs_TC-RC")]
+        if isinstance(ratio, float):
+            assert ratio < 1.15, f"component {row[0]} regressed vs TC"

@@ -1,0 +1,22 @@
+"""The abstract's headline claims, side by side with the paper.
+
+Paper: G-TSC outperforms TC by 38% with RC; G-TSC-SC outperforms
+TC-RC by 26% on the coherent set; memory traffic drops 20%.  The
+reproduction targets sign and rough magnitude on a synthetic-workload,
+scaled-down machine.
+"""
+
+from repro.harness import experiments
+
+
+def test_headline_claims(benchmark, runner, emit):
+    result = benchmark.pedantic(
+        lambda: experiments.headline(runner), rounds=1, iterations=1)
+    emit(result)
+    for claim, paper_value, reproduced in result.rows:
+        assert reproduced > 0, f"claim lost its sign: {claim}"
+        # within a loose factor of the paper's magnitude
+        assert reproduced > paper_value * 0.3, (
+            f"{claim}: reproduced {reproduced:.3f} far below "
+            f"paper's {paper_value}"
+        )

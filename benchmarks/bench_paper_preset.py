@@ -1,0 +1,44 @@
+"""Full-size machine validation — the Section VI-A configuration.
+
+Runs three representative benchmarks on the paper's 16-SM / 48-warp /
+8-bank machine (everything else uses the scaled-down preset for speed)
+and asserts the headline direction survives at full machine size.
+"""
+
+import pytest
+
+from repro.config import Consistency, GPUConfig, Protocol
+from repro.gpu.gpu import GPU
+from repro.workloads import build_workload
+
+BENCHES = ["BH", "DLP", "STN"]
+
+
+def run(name, protocol, consistency):
+    config = GPUConfig.paper(protocol=protocol, consistency=consistency)
+    kernel = build_workload(name, scale=1.5, seed=2018)
+    return GPU(config, record_accesses=False).run(kernel)
+
+
+def test_paper_preset_headline_direction(benchmark, emit):
+    def sweep():
+        rows = []
+        for name in BENCHES:
+            bl = run(name, Protocol.DISABLED, Consistency.RC)
+            tc = run(name, Protocol.TC, Consistency.RC)
+            gtsc = run(name, Protocol.GTSC, Consistency.RC)
+            rows.append((name, bl, tc, gtsc))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\npaper preset (16 SMs, 48 warps/SM, 8 banks), RC:")
+    print(f"{'bench':6s} {'BL':>9s} {'TC':>9s} {'G-TSC':>9s} "
+          f"{'G/TC speedup':>13s}")
+    wins = 0
+    for name, bl, tc, gtsc in rows:
+        speedup = tc.cycles / gtsc.cycles
+        wins += speedup > 1.0
+        print(f"{name:6s} {bl.cycles:9d} {tc.cycles:9d} "
+              f"{gtsc.cycles:9d} {speedup:13.2f}")
+        assert gtsc.noc_bytes < tc.noc_bytes  # traffic saving holds
+    assert wins == len(BENCHES), "G-TSC must beat TC at full size"

@@ -1,0 +1,46 @@
+"""Simulator throughput microbenchmarks (not a paper figure).
+
+Tracks the cost of the simulation substrate itself so regressions in
+the event engine or protocol hot paths are visible: simulated
+cycles/second and instructions/second for one representative workload
+per protocol.
+"""
+
+import pytest
+
+from repro.config import Consistency, GPUConfig, Protocol
+from repro.gpu.gpu import GPU
+from repro.workloads import build_workload
+
+
+@pytest.mark.parametrize("protocol", [Protocol.GTSC, Protocol.TC,
+                                      Protocol.DISABLED])
+def test_simulation_throughput(benchmark, protocol):
+    config = GPUConfig.small(protocol=protocol,
+                             consistency=Consistency.RC)
+    kernel = build_workload("VPR", scale=0.4, seed=2018)
+
+    def run_once():
+        return GPU(config, record_accesses=False).run(kernel)
+
+    stats = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert stats.counter("warps_retired") == kernel.num_warps
+
+
+def test_event_engine_throughput(benchmark):
+    from repro.sim.engine import Engine
+
+    def churn():
+        engine = Engine()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 50_000:
+                engine.schedule(1, tick)
+
+        engine.schedule(0, tick)
+        engine.run()
+        return count[0]
+
+    assert benchmark.pedantic(churn, rounds=3, iterations=1) == 50_000

@@ -1,0 +1,23 @@
+"""Traffic breakdown by message class — the mechanism behind Fig. 15.
+
+Shape target: compared with TC, G-TSC moves bytes out of the data
+class (full-line refetches) into the tiny control class (renewal
+responses), which is where its total traffic saving comes from.
+"""
+
+from repro.harness import experiments
+
+
+def test_traffic_breakdown(benchmark, runner, emit):
+    result = benchmark.pedantic(
+        lambda: experiments.traffic_breakdown(runner),
+        rounds=1, iterations=1)
+    emit(result)
+    assert result.summary["mean G-TSC/TC byte ratio"] < 1.0
+    headers = result.headers
+    for row in result.rows:
+        gtsc_data = row[headers.index("gtsc_data")]
+        tc_data = row[headers.index("tc_data")]
+        assert gtsc_data <= tc_data * 1.02, (
+            f"{row[0]}: G-TSC should ship no more data bytes than TC"
+        )

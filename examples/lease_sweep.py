@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Lease sensitivity: logical (G-TSC) vs physical (TC) leases.
+
+Reproduces Figure 14's message interactively: sweep G-TSC's logical
+lease over the paper's 8-20 range (flat — logical time has no physical
+meaning) and contrast it with TC's physical lease, which trades
+expiration misses against write/fence stalls and therefore has a real
+optimum to miss (Section II-D3).
+
+Run:  python examples/lease_sweep.py [BENCHMARK] [SCALE]
+"""
+
+import sys
+
+from repro import Consistency, GPUConfig, Protocol
+from repro.gpu.gpu import GPU
+from repro.workloads import build_workload
+
+
+def run_cycles(name, scale, protocol, **overrides):
+    config = GPUConfig.small(protocol=protocol,
+                             consistency=Consistency.RC, **overrides)
+    kernel = build_workload(name, scale=scale, seed=2018)
+    return GPU(config, record_accesses=False).run(kernel)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "DLP"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+
+    print(f"benchmark: {name}\n")
+    print("G-TSC-RC, logical lease sweep (Figure 14):")
+    print(f"{'lease':>7s} {'cycles':>9s} {'renewals':>9s} "
+          f"{'expired misses':>15s}")
+    gtsc_cycles = []
+    for lease in (8, 10, 12, 16, 20):
+        stats = run_cycles(name, scale, Protocol.GTSC, lease=lease)
+        gtsc_cycles.append(stats.cycles)
+        print(f"{lease:7d} {stats.cycles:9d} "
+              f"{stats.counter('l2_renewals'):9d} "
+              f"{stats.counter('l1_expired_miss'):15d}")
+    spread = max(gtsc_cycles) / min(gtsc_cycles) - 1
+    print(f"  spread: {spread:.1%}  (logical leases are "
+          f"scale-invariant)\n")
+
+    print("TC-RC, physical lease sweep (the Section II-D3 trade-off):")
+    print(f"{'lease':>7s} {'cycles':>9s} {'expired misses':>15s} "
+          f"{'fence-wait cycles':>18s}")
+    tc_cycles = []
+    for lease in (25, 50, 100, 200, 400, 800):
+        stats = run_cycles(name, scale, Protocol.TC, tc_lease=lease)
+        tc_cycles.append(stats.cycles)
+        print(f"{lease:7d} {stats.cycles:9d} "
+              f"{stats.counter('l1_expired_miss'):15d} "
+              f"{stats.counter('fence_wait_cycles'):18d}")
+    spread = max(tc_cycles) / min(tc_cycles) - 1
+    print(f"  spread: {spread:.1%}  (short leases expire, long "
+          f"leases stall)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Protocol shootout: every coherence option on one workload.
+
+Reproduces a single column of Figure 12 interactively: pick a
+benchmark, run the no-L1 baseline, the non-coherent L1 (if legal),
+TC-Strong/Weak and G-TSC under SC and RC, and chart normalised
+performance plus traffic as ASCII bars.
+
+Run:  python examples/protocol_shootout.py [BENCHMARK] [SCALE]
+      python examples/protocol_shootout.py STN 0.5
+"""
+
+import sys
+
+from repro import Consistency, GPUConfig, Protocol
+from repro.gpu.gpu import GPU
+from repro.workloads import WORKLOADS, build_workload
+
+
+def bar(value: float, scale: float = 30.0, best: float = 2.0) -> str:
+    filled = int(round(min(value, best) / best * scale))
+    return "#" * filled
+
+
+def run_point(name, scale, protocol, consistency):
+    config = GPUConfig.small(protocol=protocol, consistency=consistency)
+    kernel = build_workload(name, scale=scale, seed=2018)
+    return GPU(config, record_accesses=False).run(kernel)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "STN"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    spec = WORKLOADS[name]
+    print(f"benchmark {name}: {spec.description}")
+    print(f"requires coherence: {spec.requires_coherence}\n")
+
+    baseline = run_point(name, scale, Protocol.DISABLED, Consistency.RC)
+    points = [
+        ("MSI-dir", Protocol.MESI, Consistency.RC),
+        ("TC-SC", Protocol.TC, Consistency.SC),
+        ("TC-RC", Protocol.TC, Consistency.RC),
+        ("G-TSC-SC", Protocol.GTSC, Consistency.SC),
+        ("G-TSC-RC", Protocol.GTSC, Consistency.RC),
+    ]
+    if not spec.requires_coherence:
+        points.insert(0, ("W/L1", Protocol.NONCOHERENT, Consistency.RC))
+
+    print(f"{'config':10s} {'cycles':>9s} {'perf':>6s} {'traffic':>8s}  "
+          f"performance vs no-L1 baseline")
+    print(f"{'baseline':10s} {baseline.cycles:9d} {1.0:6.2f} "
+          f"{1.0:8.2f}  {bar(1.0)}")
+    for label, protocol, consistency in points:
+        stats = run_point(name, scale, protocol, consistency)
+        perf = baseline.cycles / stats.cycles
+        traffic = stats.noc_bytes / baseline.noc_bytes
+        print(f"{label:10s} {stats.cycles:9d} {perf:6.2f} "
+              f"{traffic:8.2f}  {bar(perf)}")
+
+    print("\nperf > 1.00 is faster than the no-L1 baseline; "
+          "traffic < 1.00 is less NoC traffic.")
+
+
+if __name__ == "__main__":
+    main()

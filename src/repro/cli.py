@@ -1,0 +1,223 @@
+"""Command-line interface for the G-TSC reproduction.
+
+Subcommands::
+
+    gtsc-repro list                       # workloads and experiments
+    gtsc-repro simulate BFS --protocol gtsc --consistency rc
+    gtsc-repro run fig12 [fig15 ...]      # regenerate figures
+    gtsc-repro run --all
+    gtsc-repro report --output EXPERIMENTS.md
+
+(Installed as ``gtsc-repro``; also runnable as ``python -m repro.cli``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import Consistency, GPUConfig, Protocol
+from repro.gpu.gpu import GPU
+from repro.harness import experiments
+from repro.harness.report import EXPECTATIONS, build_report
+from repro.harness.runner import ExperimentRunner
+from repro.harness.tables import format_result
+from repro.validate import check_gtsc_log
+from repro.workloads import ALL_NAMES, WORKLOADS, build_workload
+
+EXPERIMENT_FNS = {e.experiment_id: e.fn for e in EXPECTATIONS}
+
+
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--preset", default="small",
+                        choices=["tiny", "small", "paper"],
+                        help="machine preset (default: small)")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="workload scale factor (default: 0.5)")
+    parser.add_argument("--seed", type=int, default=2018,
+                        help="workload seed (default: 2018)")
+
+
+def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
+    return ExperimentRunner(preset=args.preset, scale=args.scale,
+                            seed=args.seed)
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("workloads:")
+    for name in ALL_NAMES:
+        spec = WORKLOADS[name]
+        tag = "coherent" if spec.requires_coherence else "no-coh  "
+        print(f"  {name:4s} [{tag}] {spec.description}")
+    print("\nexperiments:")
+    for expectation in EXPECTATIONS:
+        print(f"  {expectation.experiment_id:20s} {expectation.title}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    config_factory = getattr(GPUConfig, args.preset)
+    config = config_factory(
+        protocol=Protocol(args.protocol),
+        consistency=Consistency(args.consistency),
+        lease=args.lease,
+    )
+    kernel = build_workload(args.workload, scale=args.scale,
+                            seed=args.seed)
+    gpu = GPU(config, record_accesses=args.check)
+    stats = gpu.run(kernel)
+    if args.json:
+        import json
+        print(json.dumps(stats.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"machine: {config.describe()}")
+    print(f"kernel:  {kernel.name}, {kernel.num_warps} warps, "
+          f"{kernel.total_instructions} instructions\n")
+    print(stats.summary())
+    if args.check and config.protocol is Protocol.GTSC:
+        checked = check_gtsc_log(gpu.machine.log, gpu.machine.versions)
+        print(f"\ncoherence: {checked} loads verified against "
+              f"timestamp order")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    names: List[str] = (list(EXPERIMENT_FNS) if args.all
+                        else args.experiments)
+    if not names:
+        print("no experiments given (use names or --all)",
+              file=sys.stderr)
+        return 2
+    unknown = [n for n in names if n not in EXPERIMENT_FNS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}",
+              file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENT_FNS)}", file=sys.stderr)
+        return 2
+    runner = _make_runner(args)
+    for name in names:
+        result = EXPERIMENT_FNS[name](runner)
+        if args.chart:
+            from repro.harness.charts import render_chart
+            try:
+                print(render_chart(result))
+            except ValueError:
+                print(format_result(result))
+        else:
+            print(format_result(result))
+        print()
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.harness.sweeps import METRICS, sweep
+
+    values: List = []
+    for token in args.values:
+        try:
+            values.append(int(token))
+        except ValueError:
+            print(f"sweep values must be integers, got {token!r}",
+                  file=sys.stderr)
+            return 2
+    runner = _make_runner(args)
+    try:
+        series = sweep(
+            runner,
+            workloads=args.workload,
+            parameter=args.parameter,
+            values=values,
+            protocol=Protocol(args.protocol),
+            consistency=Consistency(args.consistency),
+            metric=args.metric,
+        )
+    except (KeyError, TypeError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(series.table())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    text = build_report(runner)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gtsc-repro",
+        description="Reproduction of G-TSC (HPCA 2018): simulate, "
+                    "regenerate figures, build reports.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list workloads and experiments")
+    p_list.set_defaults(fn=cmd_list)
+
+    p_sim = sub.add_parser("simulate", help="simulate one workload")
+    p_sim.add_argument("workload", choices=ALL_NAMES)
+    p_sim.add_argument("--protocol", default="gtsc",
+                       choices=[p.value for p in Protocol])
+    p_sim.add_argument("--consistency", default="rc",
+                       choices=[c.value for c in Consistency])
+    p_sim.add_argument("--lease", type=int, default=10)
+    p_sim.add_argument("--check", action="store_true",
+                       help="record accesses and verify coherence")
+    p_sim.add_argument("--json", action="store_true",
+                       help="emit machine-readable statistics")
+    _add_runner_args(p_sim)
+    p_sim.set_defaults(fn=cmd_simulate)
+
+    p_run = sub.add_parser("run", help="regenerate tables/figures")
+    p_run.add_argument("experiments", nargs="*",
+                       help="experiment ids (see 'list')")
+    p_run.add_argument("--all", action="store_true",
+                       help="run every experiment")
+    p_run.add_argument("--chart", action="store_true",
+                       help="render results as ASCII bar charts")
+    _add_runner_args(p_run)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="sweep one config parameter across values")
+    p_sweep.add_argument("parameter",
+                         help="GPUConfig field, e.g. lease, l1_size")
+    p_sweep.add_argument("values", nargs="+",
+                         help="integer values to sweep")
+    p_sweep.add_argument("--workload", action="append", required=True,
+                         choices=ALL_NAMES,
+                         help="benchmark(s); repeatable")
+    p_sweep.add_argument("--protocol", default="gtsc",
+                         choices=[p.value for p in Protocol])
+    p_sweep.add_argument("--consistency", default="rc",
+                         choices=[c.value for c in Consistency])
+    p_sweep.add_argument("--metric", default="cycles",
+                         help="cycles | noc_bytes | l1_hit_rate | "
+                              "stall_mem_cycles | energy | dram_reads")
+    _add_runner_args(p_sweep)
+    p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_rep = sub.add_parser("report",
+                           help="write the paper-vs-measured report")
+    p_rep.add_argument("--output", default="EXPERIMENTS.md",
+                       help="output path, or '-' for stdout")
+    _add_runner_args(p_rep)
+    p_rep.set_defaults(fn=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

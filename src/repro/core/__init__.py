@@ -1,0 +1,24 @@
+"""G-TSC — the paper's contribution.
+
+Timestamp-ordering cache coherence for GPUs (Sections III-V of the
+paper): logical write/read timestamps on every cache line, per-warp
+logical clocks, lease renewal without data movement, stall-free writes
+that are logically scheduled in the future, non-inclusive L2 via the
+``mem_ts`` summary timestamp, and 16-bit timestamp overflow handling.
+"""
+
+from repro.core.messages import BusFill, BusRd, BusRnw, BusWr, BusWrAck
+from repro.core.timestamps import TimestampDomain
+from repro.core.l1 import GTSCL1Controller
+from repro.core.l2 import GTSCL2Bank
+
+__all__ = [
+    "BusFill",
+    "BusRd",
+    "BusRnw",
+    "BusWr",
+    "BusWrAck",
+    "TimestampDomain",
+    "GTSCL1Controller",
+    "GTSCL2Bank",
+]

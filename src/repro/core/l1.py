@@ -1,0 +1,427 @@
+"""G-TSC private (L1) cache controller — Figures 1a, 2, 3, 7, 8.
+
+Implements, per the paper:
+
+* the load flowchart (Fig. 2): hit requires a tag match *and*
+  ``warp_ts <= rts``; a hit advances the warp's logical clock to at
+  least the line's ``wts``; misses send ``BusRd`` carrying the stale
+  copy's ``wts`` (0 on a cold miss) so the L2 can answer with a
+  data-less renewal when possible;
+* the store flowchart (Fig. 3): write-through — every store is
+  performed at the L2 and acknowledged with its assigned lease;
+* update visibility (Section V-A): while a store to a line is pending,
+  either *all* accesses to that line are delayed until the ack
+  (option 1, the paper's choice) or the old copy stays readable to
+  other warps while only the writer waits (option 2);
+* request combining (Section V-B, Fig. 11): replicated reads from
+  different warps park in one MSHR entry; waiters whose ``warp_ts``
+  the granted lease does not cover trigger a renewal request rather
+  than being forwarded individually (unless the forward-all ablation
+  is selected);
+* timestamp overflow (Section V-D): responses carry the L2 epoch; on
+  seeing a newer epoch the L1 flushes itself and resets its warps'
+  logical clocks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Set
+
+from repro.config import CombiningPolicy, VisibilityPolicy
+from repro.core.messages import (
+    BusAtm,
+    BusAtmAck,
+    BusFill,
+    BusInv,
+    BusRd,
+    BusRnw,
+    BusWr,
+    BusWrAck,
+)
+from repro.mem.cache import CacheArray
+from repro.mem.mshr import MSHRFullError
+from repro.protocols.base import (
+    L1ControllerBase,
+    LoadWaiter,
+    Message,
+    PendingAtomic,
+    PendingStore,
+)
+from repro.validate.versions import AtomicRecord, LoadRecord, StoreRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.machine import Machine
+    from repro.gpu.warp import Warp
+
+
+class GTSCL1Controller(L1ControllerBase):
+    """Per-SM L1 controller for G-TSC."""
+
+    def __init__(self, sm_id: int, machine: "Machine") -> None:
+        super().__init__(sm_id, machine)
+        config = machine.config
+        self.cache = CacheArray(config.l1_sets, config.l1_assoc)
+        self.epoch = 0
+        # FIFO of unacknowledged stores per line (acks return in order)
+        self._pending_stores: Dict[int, Deque[PendingStore]] = {}
+        # FIFO of unacknowledged atomics per line
+        self._pending_atomics: Dict[int, Deque[PendingAtomic]] = {}
+        # loads delayed by the update-visibility rule, per line
+        self._locked_waiters: Dict[int, List[tuple]] = {}
+        # warps with a pending store per line (for the OLD_COPY policy)
+        self._pending_writers: Dict[int, Set[int]] = {}
+        # every warp that ever touched this L1 (for epoch resets)
+        self._warps: Set["Warp"] = set()
+
+    # ------------------------------------------------------------------
+    # SM-facing operations
+    # ------------------------------------------------------------------
+    def load(self, warp: "Warp", addr: int,
+             on_done: Callable[[], None]) -> bool:
+        self._warps.add(warp)
+        self.stats.add("l1_access")
+
+        if self._load_blocked_by_store(warp, addr):
+            self.stats.add("l1_locked_wait")
+            self._locked_waiters.setdefault(addr, []).append(
+                (warp, on_done, self.engine.now)
+            )
+            return True
+
+        line = self.cache.lookup(addr)
+        if line is not None and warp.ts <= line.rts:
+            self.stats.add("l1_hit")
+            warp.ts = max(warp.ts, line.wts)
+            self._record_load(warp, addr, line.version, self.engine.now,
+                              hit=True)
+            self._complete(on_done, self.config.l1_latency)
+            return True
+
+        # miss: cold (no tag) or coherence (lease behind warp_ts)
+        self.stats.add("l1_miss")
+        stale_wts = 0
+        if line is not None:
+            self.stats.add("l1_expired_miss")
+            stale_wts = line.wts
+
+        waiter = LoadWaiter(warp, on_done, self.engine.now)
+        entry = self.mshr.get(addr)
+        combine = self.config.combining is CombiningPolicy.MSHR
+        if entry is not None and combine:
+            entry.waiters.append(waiter)
+            return True
+        if entry is None:
+            if self.mshr.full:
+                self.stats.add("l1_mshr_stall")
+                return False
+            entry = self.mshr.allocate(addr)
+        entry.waiters.append(waiter)
+        self._send(BusRd(addr, self.sm_id, stale_wts, warp.ts, self.epoch))
+        entry.issued = True
+        return True
+
+    def store(self, warp: "Warp", addr: int,
+              on_done: Callable[[], None]) -> bool:
+        self._warps.add(warp)
+        self.stats.add("l1_access")
+        self.stats.add("l1_store")
+
+        version = self.machine.versions.new_version(addr)
+        line = self.cache.lookup(addr)
+        if line is not None:
+            # block accesses to the updated line until the ack arrives
+            line.pending_stores += 1
+        self._pending_writers.setdefault(addr, set()).add(warp.uid)
+        pending = PendingStore(warp, addr, version, on_done,
+                               self.engine.now)
+        self._pending_stores.setdefault(addr, deque()).append(pending)
+        self._send(BusWr(addr, self.sm_id, warp.ts, version, self.epoch))
+        return True
+
+    def atomic(self, warp: "Warp", addr: int,
+               on_done: Callable[[], None]) -> bool:
+        """Atomic RMW: performed at the L2 via the store path; the
+        updated line is unreadable locally until the ack, exactly like
+        a store under the update-visibility rule."""
+        self._warps.add(warp)
+        self.stats.add("l1_access")
+        self.stats.add("l1_atomic")
+        version = self.machine.versions.new_version(addr)
+        line = self.cache.lookup(addr)
+        if line is not None:
+            line.pending_stores += 1
+        self._pending_writers.setdefault(addr, set()).add(warp.uid)
+        pending = PendingAtomic(warp, addr, version, on_done,
+                                self.engine.now)
+        self._pending_atomics.setdefault(addr, deque()).append(pending)
+        self._send(BusAtm(addr, self.sm_id, warp.ts, version, self.epoch))
+        return True
+
+    # ------------------------------------------------------------------
+    # update-visibility policy (Section V-A)
+    # ------------------------------------------------------------------
+    def _load_blocked_by_store(self, warp: "Warp", addr: int) -> bool:
+        """Does the update-visibility rule delay this load?
+
+        Option 1 (DELAY): any pending store to the line blocks every
+        load of it from this SM.  Option 2 (OLD_COPY): only the warps
+        that themselves have a pending store to the line wait (they
+        must not read past their own unacknowledged write); other
+        warps may keep reading the old copy.
+        """
+        pending = (self._pending_stores.get(addr)
+                   or self._pending_atomics.get(addr))
+        if not pending:
+            return False
+        if self.config.visibility is VisibilityPolicy.DELAY:
+            return True
+        writers = self._pending_writers.get(addr)
+        return writers is not None and warp.uid in writers
+
+    def _release_locked(self, addr: int) -> None:
+        """Replay loads that were delayed by a (now drained) store."""
+        if self._pending_stores.get(addr) or self._pending_atomics.get(addr):
+            return
+        self._pending_stores.pop(addr, None)
+        self._pending_atomics.pop(addr, None)
+        self._pending_writers.pop(addr, None)
+        waiters = self._locked_waiters.pop(addr, None)
+        if not waiters:
+            return
+        for warp, on_done, _issue in waiters:
+            accepted = self.load(warp, addr, on_done)
+            if not accepted:
+                # MSHR full: put the load back in the locked queue and
+                # retry on a timer rather than losing it
+                self._locked_waiters.setdefault(addr, []).append(
+                    (warp, on_done, self.engine.now)
+                )
+                self.engine.schedule(self.config.mshr_retry_interval,
+                                     self._retry_locked, addr)
+
+    def _retry_locked(self, addr: int) -> None:
+        waiters = self._locked_waiters.pop(addr, None)
+        if not waiters:
+            return
+        for warp, on_done, _issue in waiters:
+            if not self.load(warp, addr, on_done):
+                self._locked_waiters.setdefault(addr, []).append(
+                    (warp, on_done, self.engine.now)
+                )
+                self.engine.schedule(self.config.mshr_retry_interval,
+                                     self._retry_locked, addr)
+
+    # ------------------------------------------------------------------
+    # responses from L2
+    # ------------------------------------------------------------------
+    def receive(self, msg: Message) -> None:
+        epoch = getattr(msg, "epoch", self.epoch)
+        if epoch > self.epoch:
+            self._epoch_reset(epoch)
+        if isinstance(msg, BusFill):
+            self._on_fill(msg)
+        elif isinstance(msg, BusRnw):
+            self._on_renewal(msg)
+        elif isinstance(msg, BusWrAck):
+            self._on_write_ack(msg)
+        elif isinstance(msg, BusAtmAck):
+            self._on_atomic_ack(msg)
+        elif isinstance(msg, BusInv):
+            # inclusive-L2 ablation: back-invalidate (never drops a
+            # line with a pending store; timestamps keep that safe)
+            line = self.cache.lookup(msg.addr, touch=False)
+            if line is not None and line.pending_stores == 0:
+                self.cache.invalidate(msg.addr)
+                self.stats.add("l1_back_invalidations")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected message at G-TSC L1: {msg!r}")
+
+    def _on_fill(self, msg: BusFill) -> None:
+        if msg.epoch < self.epoch:
+            # response crossed a timestamp reset: its timestamps are
+            # meaningless now; refetch for whoever is still waiting
+            self._refetch(msg.addr)
+            return
+        line, _evicted = self.cache.allocate(
+            msg.addr, evictable=lambda l: l.pending_stores == 0
+        )
+        if line is None:
+            # every way is pinned by pending stores: serve the waiters
+            # straight from the response without caching the line
+            self._drain(msg.addr, msg.wts, msg.rts, msg.version,
+                        installed=False)
+            return
+        if line.wts <= msg.wts:
+            line.wts = msg.wts
+            line.rts = max(line.rts, msg.rts)
+            line.version = msg.version
+            line.epoch = self.epoch
+        self._drain(msg.addr, line.wts, line.rts, line.version,
+                    installed=True)
+
+    def _on_renewal(self, msg: BusRnw) -> None:
+        if msg.epoch < self.epoch:
+            self._refetch(msg.addr)
+            return
+        line = self.cache.lookup(msg.addr)
+        if line is None:
+            # renewed line was evicted while the renewal was in flight;
+            # only a full fill can help now
+            self._refetch(msg.addr)
+            return
+        line.rts = max(line.rts, msg.rts)
+        self._drain(msg.addr, line.wts, line.rts, line.version,
+                    installed=True)
+
+    def _on_write_ack(self, msg: BusWrAck) -> None:
+        queue = self._pending_stores.get(msg.addr)
+        if not queue:  # pragma: no cover - defensive
+            raise RuntimeError(f"write ack with no pending store: {msg!r}")
+        pending = queue.popleft()
+        stale = msg.epoch < self.epoch
+        line = self.cache.lookup(msg.addr, touch=False)
+        if line is not None:
+            if line.pending_stores > 0:
+                line.pending_stores -= 1
+            if not stale and msg.wts >= line.wts:
+                line.wts = msg.wts
+                line.rts = msg.rts
+                line.version = pending.version
+                line.epoch = self.epoch
+        if not stale:
+            pending.warp.ts = max(pending.warp.ts, msg.wts)
+        logical = pending.warp.ts if stale else msg.wts
+        self.stats.hist.add("store_latency",
+                            self.engine.now - pending.issue_cycle)
+        self.machine.log.record_store(StoreRecord(
+            warp_uid=pending.warp.uid,
+            addr=msg.addr,
+            version=pending.version,
+            logical_ts=logical,
+            epoch=self.epoch,
+            issue_cycle=pending.issue_cycle,
+            complete_cycle=self.engine.now,
+        ))
+        self._drop_writer_if_drained(msg.addr, pending.warp.uid)
+        self._complete(pending.on_done)
+        self._release_locked(msg.addr)
+
+    def _on_atomic_ack(self, msg: BusAtmAck) -> None:
+        queue = self._pending_atomics.get(msg.addr)
+        if not queue:  # pragma: no cover - defensive
+            raise RuntimeError(f"atomic ack with no pending RMW: {msg!r}")
+        pending = queue.popleft()
+        stale = msg.epoch < self.epoch
+        line = self.cache.lookup(msg.addr, touch=False)
+        if line is not None:
+            if line.pending_stores > 0:
+                line.pending_stores -= 1
+            if not stale and msg.wts >= line.wts:
+                line.wts = msg.wts
+                line.rts = msg.rts
+                line.version = pending.version
+                line.epoch = self.epoch
+        if not stale:
+            pending.warp.ts = max(pending.warp.ts, msg.wts)
+        logical = pending.warp.ts if stale else msg.wts
+        self.stats.hist.add("atomic_latency",
+                            self.engine.now - pending.issue_cycle)
+        self.machine.log.record_atomic(AtomicRecord(
+            warp_uid=pending.warp.uid,
+            addr=msg.addr,
+            old_version=msg.old_version,
+            new_version=pending.version,
+            logical_ts=logical,
+            epoch=self.epoch,
+            issue_cycle=pending.issue_cycle,
+            complete_cycle=self.engine.now,
+        ))
+        self._drop_writer_if_drained(msg.addr, pending.warp.uid)
+        self._complete(pending.on_done)
+        self._release_locked(msg.addr)
+
+    def _drop_writer_if_drained(self, addr: int, warp_uid: int) -> None:
+        """Clear a warp from the pending-writer set once it has no
+        in-flight store *or* atomic left on the line."""
+        writers = self._pending_writers.get(addr)
+        if writers is None or warp_uid not in writers:
+            return
+        still_writing = any(
+            p.warp.uid == warp_uid
+            for p in self._pending_stores.get(addr, ())
+        ) or any(
+            p.warp.uid == warp_uid
+            for p in self._pending_atomics.get(addr, ())
+        )
+        if not still_writing:
+            writers.discard(warp_uid)
+
+    # ------------------------------------------------------------------
+    # MSHR drain / renewal (Section V-B)
+    # ------------------------------------------------------------------
+    def _drain(self, addr: int, wts: int, rts: int, version: int,
+               installed: bool) -> None:
+        """Complete the waiters a lease ``[wts, rts]`` now covers.
+
+        Waiters whose ``warp_ts`` lies beyond ``rts`` stay parked and a
+        single renewal request (carrying the largest straggler
+        timestamp) is sent on their behalf — Figure 11's resolution.
+        """
+        done = self.mshr.drain(addr, keep=lambda w: w.warp.ts > rts)
+        for waiter in done:
+            waiter.warp.ts = max(waiter.warp.ts, wts)
+            self._record_load(waiter.warp, addr, version,
+                              waiter.issue_cycle, hit=False)
+            self._complete(waiter.on_done)
+        entry = self.mshr.get(addr)
+        if entry is not None and entry.waiters:
+            top_ts = max(w.warp.ts for w in entry.waiters)
+            if installed:
+                self.stats.add("l1_renewals")
+                self._send(BusRd(addr, self.sm_id, wts, top_ts, self.epoch))
+            else:
+                self._send(BusRd(addr, self.sm_id, 0, top_ts, self.epoch))
+
+    def _refetch(self, addr: int) -> None:
+        """Re-issue a full read for whatever is still parked on ``addr``."""
+        entry = self.mshr.get(addr)
+        if entry is None or not entry.waiters:
+            return
+        top_ts = max(w.warp.ts for w in entry.waiters)
+        self._send(BusRd(addr, self.sm_id, 0, top_ts, self.epoch))
+
+    # ------------------------------------------------------------------
+    # epoch reset / flush
+    # ------------------------------------------------------------------
+    def _epoch_reset(self, new_epoch: int) -> None:
+        """A response revealed a timestamp overflow reset (Section V-D)."""
+        self.epoch = new_epoch
+        self.cache.flush()
+        for warp in self._warps:
+            warp.ts = 1
+            warp.epoch = new_epoch
+
+    def flush(self) -> None:
+        """Kernel boundary: drop all lines and reset warp clocks."""
+        self.cache.flush()
+        for warp in self._warps:
+            warp.ts = 1
+
+    # ------------------------------------------------------------------
+    # record keeping
+    # ------------------------------------------------------------------
+    def _record_load(self, warp: "Warp", addr: int, version: int,
+                     issue_cycle: int, hit: bool) -> None:
+        self.stats.hist.add("load_latency",
+                            self.engine.now - issue_cycle)
+        self.machine.log.record_load(LoadRecord(
+            warp_uid=warp.uid,
+            addr=addr,
+            version=version,
+            logical_ts=warp.ts,
+            epoch=self.epoch,
+            issue_cycle=issue_cycle,
+            complete_cycle=self.engine.now,
+            l1_hit=hit,
+        ))

@@ -1,0 +1,155 @@
+"""G-TSC message formats (Table I of the paper).
+
+Each message carries exactly the fields Table I lists; sizes are a
+header plus 16-bit timestamps plus, for data-bearing messages, one
+cache line.  The renewal response (``BusRnw``) carrying *no data* is
+one of G-TSC's traffic advantages over TC, so sizing is faithful.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import Message
+
+
+class BusRd(Message):
+    """Read / renewal request from L1 to L2.
+
+    ``wts`` is 0 when the L1 missed outright and the stale copy's write
+    timestamp when the tag matched but the lease had expired — the L2
+    uses the match to decide between a renewal and a full fill.
+    """
+
+    kind = "ctrl"
+    __slots__ = ("wts", "warp_ts", "epoch")
+
+    def __init__(self, addr: int, sm: int, wts: int, warp_ts: int,
+                 epoch: int) -> None:
+        super().__init__(addr, sm)
+        self.wts = wts
+        self.warp_ts = warp_ts
+        self.epoch = epoch
+
+    def payload_bytes(self, config) -> int:
+        # wts + warp_ts (Table I row "Read/Renewal Requests")
+        return 2 * config.timestamp_bytes
+
+
+class BusWr(Message):
+    """Write request from L1 to L2 (write-through, data-bearing)."""
+
+    kind = "data"
+    __slots__ = ("warp_ts", "version", "epoch")
+
+    def __init__(self, addr: int, sm: int, warp_ts: int, version: int,
+                 epoch: int) -> None:
+        super().__init__(addr, sm)
+        self.warp_ts = warp_ts
+        self.version = version
+        self.epoch = epoch
+
+    def payload_bytes(self, config) -> int:
+        # warp_ts + data (Table I row "Write Request")
+        return config.timestamp_bytes + config.line_size
+
+
+class BusFill(Message):
+    """Fill response from L2: new data plus its lease."""
+
+    kind = "data"
+    __slots__ = ("wts", "rts", "version", "epoch", "reset")
+
+    def __init__(self, addr: int, sm: int, wts: int, rts: int,
+                 version: int, epoch: int, reset: bool = False) -> None:
+        super().__init__(addr, sm)
+        self.wts = wts
+        self.rts = rts
+        self.version = version
+        self.epoch = epoch
+        self.reset = reset
+
+    def payload_bytes(self, config) -> int:
+        # rts + wts + data (Table I row "Fill Response")
+        return 2 * config.timestamp_bytes + config.line_size
+
+
+class BusRnw(Message):
+    """Renewal response from L2: an extended lease, *no data*."""
+
+    kind = "ctrl"
+    __slots__ = ("rts", "epoch")
+
+    def __init__(self, addr: int, sm: int, rts: int, epoch: int) -> None:
+        super().__init__(addr, sm)
+        self.rts = rts
+        self.epoch = epoch
+
+    def payload_bytes(self, config) -> int:
+        # rts only (Table I row "Renewal Response")
+        return config.timestamp_bytes
+
+
+class BusWrAck(Message):
+    """Write acknowledgment from L2 with the store's assigned lease."""
+
+    kind = "ctrl"
+    __slots__ = ("wts", "rts", "epoch")
+
+    def __init__(self, addr: int, sm: int, wts: int, rts: int,
+                 epoch: int) -> None:
+        super().__init__(addr, sm)
+        self.wts = wts
+        self.rts = rts
+        self.epoch = epoch
+
+    def payload_bytes(self, config) -> int:
+        # rts + wts (Table I row "Write Acknowledgment")
+        return 2 * config.timestamp_bytes
+
+
+class BusInv(Message):
+    """Back-invalidation (only used by the inclusive-L2 ablation)."""
+
+    kind = "ctrl"
+    __slots__ = ()
+
+    def payload_bytes(self, config) -> int:
+        return 0
+
+
+class BusAtm(Message):
+    """Atomic RMW request: performed at the L2 like a store, but the
+    old value is returned to the warp (extension beyond the paper's
+    load/store protocol, following its write path)."""
+
+    kind = "data"
+    __slots__ = ("warp_ts", "version", "epoch")
+
+    def __init__(self, addr: int, sm: int, warp_ts: int, version: int,
+                 epoch: int) -> None:
+        super().__init__(addr, sm)
+        self.warp_ts = warp_ts
+        self.version = version
+        self.epoch = epoch
+
+    def payload_bytes(self, config) -> int:
+        # warp_ts + the operand word (atomics are sub-line)
+        return config.timestamp_bytes + 8
+
+
+class BusAtmAck(Message):
+    """Atomic response: the assigned lease plus the old value."""
+
+    kind = "ctrl"
+    __slots__ = ("wts", "rts", "old_version", "epoch")
+
+    def __init__(self, addr: int, sm: int, wts: int, rts: int,
+                 old_version: int, epoch: int) -> None:
+        super().__init__(addr, sm)
+        self.wts = wts
+        self.rts = rts
+        self.old_version = old_version
+        self.epoch = epoch
+
+    def payload_bytes(self, config) -> int:
+        # rts + wts + the returned old word
+        return 2 * config.timestamp_bytes + 8

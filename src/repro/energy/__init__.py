@@ -1,0 +1,5 @@
+"""Energy model (GPUWattch-style event counting)."""
+
+from repro.energy.model import EnergyModel, EnergyParams
+
+__all__ = ["EnergyModel", "EnergyParams"]

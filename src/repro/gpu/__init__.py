@@ -1,0 +1,7 @@
+"""GPU execution model: warps, SMs, and the top-level simulator."""
+
+from repro.gpu.gpu import GPU, run_kernel
+from repro.gpu.machine import Machine
+from repro.gpu.warp import Warp
+
+__all__ = ["GPU", "Machine", "Warp", "run_kernel"]

@@ -1,0 +1,72 @@
+"""The machine: every shared hardware structure wired together.
+
+A :class:`Machine` owns the engine, the statistics, the NoC, the DRAM
+partitions, and — once :func:`repro.protocols.build_protocol` has run —
+the per-SM L1 controllers and per-bank L2 controllers.  It also routes
+messages: requests go to the home bank of their line address, replies
+to the requesting SM.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.config import GPUConfig, NocTopology
+from repro.mem.dram import DRAMPartition
+from repro.mem.noc import MeshNetwork, Network
+from repro.sim.engine import Engine
+from repro.stats.collector import StatsCollector
+from repro.validate.versions import AccessLog, VersionStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.timestamps import TimestampDomain
+    from repro.protocols.base import L1ControllerBase, L2BankBase, Message
+
+
+class Machine:
+    """Shared hardware context for one simulation."""
+
+    def __init__(self, config: GPUConfig,
+                 record_accesses: bool = True) -> None:
+        self.config = config
+        self.engine = Engine()
+        self.stats = StatsCollector()
+        self.versions = VersionStore()
+        self.log = AccessLog(enabled=record_accesses)
+        # line address -> version currently resident in DRAM
+        self.memory_image: Dict[int, int] = {}
+        if config.noc_topology is NocTopology.MESH:
+            self.noc = MeshNetwork(
+                self.engine, self.stats, config.mesh_hop_latency,
+                config.mesh_link_bandwidth, config.num_sms,
+                config.num_l2_banks)
+        else:
+            self.noc = Network(self.engine, self.stats,
+                               config.noc_latency,
+                               config.noc_port_bandwidth)
+        self.drams: List[DRAMPartition] = [
+            DRAMPartition(self.engine, self.stats, config.dram_latency,
+                          config.dram_bandwidth, config.line_size,
+                          name=f"dram{b}")
+            for b in range(config.num_l2_banks)
+        ]
+        # populated by repro.protocols.build_protocol
+        self.l1s: List["L1ControllerBase"] = []
+        self.l2_banks: List["L2BankBase"] = []
+        self.timestamp_domain: Optional["TimestampDomain"] = None
+
+    # -- message routing -------------------------------------------------------
+    def send_to_bank(self, sm_id: int, msg: "Message") -> None:
+        """Route a request from SM ``sm_id`` to the line's home bank."""
+        bank_id = self.config.bank_of(msg.addr)
+        bank = self.l2_banks[bank_id]
+        self.noc.send(("sm", sm_id), ("l2", bank_id),
+                      msg.size(self.config), msg.kind,
+                      lambda b=bank, m=msg: b.receive(m))
+
+    def send_to_sm(self, bank_id: int, sm_id: int, msg: "Message") -> None:
+        """Route a response from bank ``bank_id`` back to an SM."""
+        l1 = self.l1s[sm_id]
+        self.noc.send(("l2", bank_id), ("sm", sm_id),
+                      msg.size(self.config), msg.kind,
+                      lambda c=l1, m=msg: c.receive(m))

@@ -1,0 +1,354 @@
+"""Streaming multiprocessor: warp scheduling and instruction issue.
+
+Each SM issues at most one instruction per cycle from a ready warp
+(loose round-robin).  The scheduler is event-driven: when no warp can
+issue, the SM sleeps and is woken by memory completions or at the next
+compute-ready time; the slept interval is charged to the Figure-13
+stall counters, attributed to memory when any warp was waiting on a
+memory operation at sleep time.
+
+The consistency model lives here (Section II-B):
+
+* **SC** — a warp may have at most one outstanding memory request:
+  loads and stores both block until completion.
+* **RC** — stores are fire-and-forget; only a FENCE waits for the
+  warp's outstanding operations to drain (and, under TC-Weak, for the
+  warp's GWCT to pass in physical time).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List, Optional
+
+from repro.config import Consistency, SchedulerPolicy
+from repro.trace.instr import ATOMIC, BARRIER, COMPUTE, FENCE, LOAD, STORE
+from repro.gpu.warp import Warp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.machine import Machine
+    from repro.protocols.base import L1ControllerBase
+
+# warp classification results
+_READY = 0
+_BLOCKED_MEM = 1
+_BLOCKED_COMPUTE = 2
+_DONE = 3
+_BLOCKED_SYNC = 4   # waiting at an intra-CTA barrier
+
+
+class SM:
+    """One streaming multiprocessor."""
+
+    def __init__(self, sm_id: int, machine: "Machine",
+                 l1: "L1ControllerBase") -> None:
+        self.sm_id = sm_id
+        self.machine = machine
+        self.config = machine.config
+        self.engine = machine.engine
+        self.stats = machine.stats
+        self.l1 = l1
+        self.sc = machine.config.consistency is Consistency.SC
+
+        self.queue: Deque[Warp] = deque()   # warps waiting for a slot
+        self.active: List[Warp] = []        # resident warps
+        self.retired = 0
+        self._rr = 0
+        self._greedy = machine.config.scheduler is SchedulerPolicy.GTO
+        self._last_warp: Optional[Warp] = None
+        # CTA bookkeeping: resident members and barrier arrivals
+        self._cta_members: dict = {}
+        self._barrier_arrived: dict = {}
+        self._issue_event = None
+        self._sleep_start: Optional[int] = None
+        self._sleep_mem = False
+        self.on_warp_done = None            # set by the GPU
+
+    # ------------------------------------------------------------------
+    # warp lifecycle
+    # ------------------------------------------------------------------
+    def add_warp(self, warp: Warp) -> None:
+        self.queue.append(warp)
+
+    def start(self) -> None:
+        self._activate()
+        if self.active:
+            self._schedule_issue(0)
+
+    def _activate(self) -> None:
+        """Bring queued warps on-SM, whole CTAs at a time.
+
+        A CTA's warps are enqueued consecutively; a CTA activates only
+        when the SM has room for all of it (barriers require every
+        member resident).
+        """
+        while self.queue:
+            cta_id = self.queue[0].cta_id
+            block: List[Warp] = []
+            while self.queue and self.queue[0].cta_id == cta_id:
+                block.append(self.queue.popleft())
+            if len(self.active) + len(block) \
+                    <= self.config.max_warps_per_sm:
+                self.active.extend(block)
+                self._cta_members.setdefault(cta_id, []).extend(block)
+            else:
+                # not enough room: put the CTA back and stop
+                self.queue.extendleft(reversed(block))
+                break
+
+    def _check_retire(self, warp: Warp) -> None:
+        if warp.done or not (warp.finished_trace and warp.drained()):
+            return
+        if self.engine.now < warp.ready_at:
+            # a trailing compute instruction is still executing
+            self.engine.at(warp.ready_at, self._check_retire, warp)
+            return
+        warp.done = True
+        self.retired += 1
+        self.stats.add("warps_retired")
+        self.active.remove(warp)
+        members = self._cta_members.get(warp.cta_id)
+        if members is not None:
+            members.remove(warp)
+            if not members:
+                self._cta_members.pop(warp.cta_id, None)
+                self._barrier_arrived.pop(warp.cta_id, None)
+            else:
+                # a retiring warp releases CTA-mates waiting on it
+                self._maybe_release_barrier(warp.cta_id)
+        self._activate()
+        if self.active:
+            # a queued warp may just have been activated
+            self._schedule_issue(0)
+        if self.on_warp_done is not None:
+            self.on_warp_done()
+
+    # ------------------------------------------------------------------
+    # wake-up plumbing
+    # ------------------------------------------------------------------
+    def notify(self, warp: Optional[Warp] = None) -> None:
+        """A memory operation completed; reschedule issue."""
+        if warp is not None:
+            self._check_retire(warp)
+        if self.active:
+            self._schedule_issue(0)
+
+    def _schedule_issue(self, delay: int) -> None:
+        target = self.engine.now + delay
+        if self._issue_event is not None:
+            if self._issue_event.time <= target:
+                return
+            self._issue_event.cancel()
+        self._issue_event = self.engine.schedule(delay, self._issue)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _classify(self, warp: Warp) -> tuple:
+        """(state, wake_time) for one warp.  wake_time may be None."""
+        now = self.engine.now
+        if warp.done:
+            return _DONE, None
+        if warp.barrier_blocked:
+            return _BLOCKED_SYNC, None
+        if warp.pending_addrs is not None:
+            # MSHR back-pressure: retry the rest of the instruction
+            if now >= warp.retry_at:
+                return _READY, None
+            return _BLOCKED_MEM, warp.retry_at
+        if warp.outstanding_loads > 0:
+            return _BLOCKED_MEM, None
+        instr = warp.next_instr()
+        if instr is None:
+            # trace finished; draining trailing stores
+            if warp.outstanding_stores > 0:
+                return _BLOCKED_MEM, None
+            return _DONE, None
+        if instr.op == BARRIER:
+            # arrival requires the warp's memory to be drained (the
+            # barrier doubles as a block-level fence)
+            if warp.outstanding_stores > 0:
+                return _BLOCKED_MEM, None
+            return _READY, None
+        if instr.op == FENCE:
+            if warp.outstanding_stores > 0:
+                if warp.fence_wait_start is None:
+                    warp.fence_wait_start = now
+                return _BLOCKED_MEM, None
+            if now < warp.gwct:
+                # TC-Weak: the fence waits for physical visibility
+                if warp.fence_wait_start is None:
+                    warp.fence_wait_start = now
+                return _BLOCKED_MEM, warp.gwct
+            return _READY, None
+        if self.sc and warp.outstanding_stores > 0:
+            return _BLOCKED_MEM, None
+        if now < warp.ready_at:
+            return _BLOCKED_COMPUTE, warp.ready_at
+        return _READY, None
+
+    def _issue(self) -> None:
+        self._issue_event = None
+        self._end_sleep()
+        if not self.active:
+            return
+        chosen = self._pick_warp()
+        if chosen is None:
+            self._sleep()
+            return
+        self._last_warp = chosen
+        self._issue_instr(chosen)
+        if self.active:
+            self._schedule_issue(1)
+
+    def _pick_warp(self) -> Optional[Warp]:
+        """Select the next warp to issue from, per the config policy."""
+        count = len(self.active)
+        if count == 0:
+            return None
+        if self._greedy:
+            # greedy-then-oldest: stick with the current warp while it
+            # can issue, else fall back to the oldest ready warp
+            last = self._last_warp
+            if last is not None and not last.done and \
+                    last in self.active and \
+                    self._classify(last)[0] is _READY:
+                return last
+            for warp in sorted(self.active, key=lambda w: w.uid):
+                if self._classify(warp)[0] is _READY:
+                    return warp
+            return None
+        for k in range(count):
+            warp = self.active[(self._rr + k) % count]
+            if self._classify(warp)[0] is _READY:
+                self._rr = (self._rr + k + 1) % count
+                return warp
+        return None
+
+    def _sleep(self) -> None:
+        """No warp can issue: record why and arrange a wake-up."""
+        wake: Optional[int] = None
+        any_mem = False
+        for warp in self.active:
+            state, wake_time = self._classify(warp)
+            if state is _BLOCKED_MEM:
+                any_mem = True
+            if wake_time is not None:
+                wake = wake_time if wake is None else min(wake, wake_time)
+        self._sleep_start = self.engine.now
+        self._sleep_mem = any_mem
+        if wake is not None:
+            self._schedule_issue(wake - self.engine.now)
+        # otherwise a completion callback will notify() us
+
+    def _end_sleep(self) -> None:
+        if self._sleep_start is None:
+            return
+        slept = self.engine.now - self._sleep_start
+        self._sleep_start = None
+        if slept <= 0:
+            return
+        self.stats.add("stall_cycles", slept)
+        if self._sleep_mem:
+            self.stats.add("stall_mem_cycles", slept)
+
+    # ------------------------------------------------------------------
+    # instruction issue
+    # ------------------------------------------------------------------
+    def _issue_instr(self, warp: Warp) -> None:
+        if warp.pending_addrs is not None:
+            self._issue_mem_accesses(warp)
+            return
+        instr = warp.next_instr()
+        assert instr is not None
+        self.stats.add("instructions")
+        if instr.op == COMPUTE:
+            warp.pc += 1
+            warp.ready_at = self.engine.now + instr.cycles
+        elif instr.op in (LOAD, STORE, ATOMIC):
+            self.stats.add("mem_instructions")
+            warp.pc += 1
+            warp.pending_op = instr.op
+            warp.pending_addrs = list(instr.addrs)
+            self._issue_mem_accesses(warp)
+        elif instr.op == FENCE:
+            self.stats.add("fences")
+            if warp.fence_wait_start is not None:
+                self.stats.add("fence_wait_cycles",
+                               self.engine.now - warp.fence_wait_start)
+                warp.fence_wait_start = None
+            warp.pc += 1
+        elif instr.op == BARRIER:
+            self.stats.add("barriers")
+            warp.pc += 1
+            self._arrive_at_barrier(warp)
+        self._check_retire(warp)
+
+    def _issue_mem_accesses(self, warp: Warp) -> None:
+        assert warp.pending_addrs is not None
+        op = warp.pending_op
+        remaining: List[int] = []
+        for index, addr in enumerate(warp.pending_addrs):
+            if op == LOAD:
+                accepted = self.l1.load(warp, addr,
+                                        self._load_done(warp))
+                if accepted:
+                    warp.outstanding_loads += 1
+            elif op == ATOMIC:
+                # an atomic returns a value: it blocks the warp like a
+                # load (tracked as an outstanding load)
+                accepted = self.l1.atomic(warp, addr,
+                                          self._load_done(warp))
+                if accepted:
+                    warp.outstanding_loads += 1
+            else:
+                accepted = self.l1.store(warp, addr,
+                                         self._store_done(warp))
+                if accepted:
+                    warp.outstanding_stores += 1
+            if not accepted:
+                # structural hazard: park the rest and retry later
+                remaining.extend(warp.pending_addrs[index:])
+                break
+        if remaining:
+            warp.pending_addrs = remaining
+            warp.retry_at = self.engine.now + self.config.mshr_retry_interval
+            self._schedule_issue(self.config.mshr_retry_interval)
+        else:
+            warp.pending_addrs = None
+            warp.pending_op = None
+
+    # ------------------------------------------------------------------
+    # intra-CTA barriers
+    # ------------------------------------------------------------------
+    def _arrive_at_barrier(self, warp: Warp) -> None:
+        arrived = self._barrier_arrived.setdefault(warp.cta_id, set())
+        arrived.add(warp.uid)
+        warp.barrier_blocked = True
+        self._maybe_release_barrier(warp.cta_id)
+
+    def _maybe_release_barrier(self, cta_id: int) -> None:
+        arrived = self._barrier_arrived.get(cta_id)
+        if not arrived:
+            return
+        alive = [w for w in self._cta_members.get(cta_id, ())
+                 if not w.done]
+        waiting = {w.uid for w in alive}
+        if waiting and waiting <= arrived:
+            self._barrier_arrived[cta_id] = set()
+            self.stats.add("barrier_releases")
+            for member in alive:
+                member.barrier_blocked = False
+            self._schedule_issue(0)
+
+    def _load_done(self, warp: Warp):
+        def callback() -> None:
+            warp.outstanding_loads -= 1
+            self.notify(warp)
+        return callback
+
+    def _store_done(self, warp: Warp):
+        def callback() -> None:
+            warp.outstanding_stores -= 1
+            self.notify(warp)
+        return callback

@@ -1,0 +1,78 @@
+"""Warp state.
+
+A warp executes its trace in program order.  Loads block the warp
+until data returns (the next instruction is presumed dependent — GPUs
+hide latency across warps, not within one).  Stores block only under
+SC; under RC they are tracked as outstanding and drained by fences.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.trace.instr import FENCE, Instr
+
+
+class Warp:
+    """One warp's architectural and scheduling state."""
+
+    __slots__ = (
+        "uid", "cta_id", "trace", "pc",
+        "ts", "epoch", "gwct",
+        "outstanding_loads", "outstanding_stores",
+        "pending_addrs", "pending_op", "retry_at",
+        "ready_at", "done", "barrier_blocked",
+        "fence_wait_start",
+    )
+
+    def __init__(self, uid: int, trace: List[Instr],
+                 cta_id: int = -1) -> None:
+        self.uid = uid
+        # CTA membership; -1 means the warp is its own CTA
+        self.cta_id = cta_id if cta_id >= 0 else uid
+        self.trace = trace
+        self.pc = 0
+        # logical clock (G-TSC); all warp timestamps start at 1
+        self.ts = 1
+        self.epoch = 0
+        # Global Write Completion Time (TC-Weak)
+        self.gwct = 0
+        self.outstanding_loads = 0
+        self.outstanding_stores = 0
+        # line addresses of the current memory instruction not yet
+        # accepted by the L1 (MSHR back-pressure)
+        self.pending_addrs: Optional[List[int]] = None
+        self.pending_op: Optional[str] = None
+        self.retry_at = 0
+        # compute-blocked until this cycle
+        self.ready_at = 0
+        self.done = False
+        # waiting at an intra-CTA barrier for the rest of the CTA
+        self.barrier_blocked = False
+        # cycle at which this warp started waiting at a fence (stats)
+        self.fence_wait_start: Optional[int] = None
+
+    @property
+    def finished_trace(self) -> bool:
+        return self.pc >= len(self.trace)
+
+    def next_instr(self) -> Optional[Instr]:
+        if self.finished_trace:
+            return None
+        return self.trace[self.pc]
+
+    def at_fence(self) -> bool:
+        instr = self.next_instr()
+        return instr is not None and instr.op == FENCE
+
+    def drained(self) -> bool:
+        """No outstanding memory operations of any kind."""
+        return (self.outstanding_loads == 0
+                and self.outstanding_stores == 0
+                and self.pending_addrs is None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<warp {self.uid} pc={self.pc}/{len(self.trace)} ts={self.ts} "
+            f"ldo={self.outstanding_loads} sto={self.outstanding_stores}>"
+        )

@@ -1,0 +1,10 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from repro.harness.runner import ExperimentRunner
+from repro.harness.tables import ExperimentResult, format_result
+from repro.harness.charts import render_chart
+from repro.harness.sweeps import SweepSeries, sweep
+from repro.harness import experiments
+
+__all__ = ["ExperimentRunner", "ExperimentResult", "SweepSeries",
+           "format_result", "render_chart", "sweep", "experiments"]

@@ -1,0 +1,76 @@
+"""ASCII bar charts for experiment results.
+
+The paper's figures are grouped bar charts; this module renders an
+:class:`ExperimentResult` the same way in plain text, so
+``gtsc-repro run fig12 --chart`` shows the figure's *shape* directly
+in the terminal (and in CI logs) without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.harness.tables import ExperimentResult
+
+# distinct fill characters per series, recycled if a figure has more
+_FILLS = "#@%*+=o^"
+
+
+def _numeric_columns(result: ExperimentResult) -> List[int]:
+    """Indices of columns whose cells are all numbers (the bars)."""
+    indices = []
+    for index in range(1, len(result.headers)):
+        cells = [row[index] for row in result.rows]
+        if all(isinstance(c, (int, float)) for c in cells):
+            indices.append(index)
+    return indices
+
+
+def render_chart(result: ExperimentResult, width: int = 44,
+                 columns: Optional[List[str]] = None) -> str:
+    """Render a result as grouped horizontal bars.
+
+    One group per row (benchmark), one bar per numeric column
+    (series).  Bars share a common scale; a reference line is drawn at
+    1.0 when the data straddles it (normalised figures).
+    """
+    if columns is not None:
+        indices = [result.headers.index(c) for c in columns]
+    else:
+        indices = _numeric_columns(result)
+    if not indices:
+        raise ValueError(f"{result.experiment_id}: nothing to chart")
+
+    values = [float(row[i]) for row in result.rows for i in indices]
+    peak = max(values + [1e-12])
+    show_unit = min(values) < 1.0 < peak
+
+    def bar(value: float, fill: str) -> str:
+        length = max(0, round(value / peak * width))
+        text = fill * length
+        if show_unit:
+            unit_pos = round(1.0 / peak * width)
+            if unit_pos < width:
+                text = (text[:unit_pos].ljust(unit_pos)
+                        + ("|" if length <= unit_pos else
+                           text[unit_pos])
+                        + text[unit_pos + 1:])
+        return text
+
+    label_width = max(len(str(row[0])) for row in result.rows)
+    series_width = max(len(result.headers[i]) for i in indices)
+    lines = [f"== {result.experiment_id}: {result.title} ==", ""]
+    for row in result.rows:
+        for series_pos, index in enumerate(indices):
+            fill = _FILLS[series_pos % len(_FILLS)]
+            name = str(row[0]) if series_pos == 0 else ""
+            value = float(row[index])
+            lines.append(
+                f"{name:>{label_width}s} "
+                f"{result.headers[index]:>{series_width}s} "
+                f"{value:7.3f} {bar(value, fill)}"
+            )
+        lines.append("")
+    if show_unit:
+        lines.append(f"('|' marks 1.0 — the normalisation baseline)")
+    return "\n".join(lines)

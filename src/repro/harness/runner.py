@@ -1,0 +1,78 @@
+"""Shared machinery for running experiment sweeps.
+
+An :class:`ExperimentRunner` owns the machine preset, workload scale
+and seed, and memoises finished runs, so experiments that share
+baselines (every figure normalises against the no-L1 BL run) reuse
+them instead of re-simulating.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.config import Consistency, GPUConfig, Protocol
+from repro.gpu.gpu import GPU
+from repro.stats.collector import RunStats
+from repro.workloads import build_workload
+
+
+class ExperimentRunner:
+    """Runs (workload x configuration) points with memoisation."""
+
+    def __init__(self, preset: str = "small", scale: float = 0.5,
+                 seed: int = 2018, **config_overrides) -> None:
+        if preset not in ("small", "paper", "tiny"):
+            raise ValueError(f"unknown preset {preset!r}")
+        self.preset = preset
+        self.scale = scale
+        self.seed = seed
+        self.config_overrides = dict(config_overrides)
+        self._cache: Dict[Tuple, RunStats] = {}
+
+    # ------------------------------------------------------------------
+    def base_config(self, protocol: Protocol, consistency: Consistency,
+                    **overrides) -> GPUConfig:
+        """The runner's machine with one protocol/consistency choice."""
+        factory = getattr(GPUConfig, self.preset)
+        merged = dict(self.config_overrides)
+        merged.update(overrides)
+        return factory(protocol=protocol, consistency=consistency,
+                       **merged)
+
+    def run(self, workload: str, protocol: Protocol,
+            consistency: Consistency, **overrides) -> RunStats:
+        """Simulate one point, memoised on all of its parameters."""
+        key = (workload, protocol, consistency,
+               tuple(sorted(overrides.items())))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        config = self.base_config(protocol, consistency, **overrides)
+        kernel = build_workload(workload, scale=self.scale, seed=self.seed)
+        stats = GPU(config, record_accesses=False).run(kernel)
+        self._cache[key] = stats
+        return stats
+
+    # -- the runs every figure needs -------------------------------------------
+    def baseline(self, workload: str) -> RunStats:
+        """The no-L1 coherent baseline (BL) all figures normalise to.
+
+        BL turns the L1 off, so the consistency model reduces to the
+        issue rules; the paper runs it once per benchmark.  RC issue
+        rules are used (matching TC-Weak's baseline in the original TC
+        work).
+        """
+        return self.run(workload, Protocol.DISABLED, Consistency.RC)
+
+    def matrix(self, workload: str) -> Dict[str, RunStats]:
+        """The four protocol/consistency bars of Figures 12-16."""
+        return {
+            "TC-SC": self.run(workload, Protocol.TC, Consistency.SC),
+            "TC-RC": self.run(workload, Protocol.TC, Consistency.RC),
+            "G-TSC-SC": self.run(workload, Protocol.GTSC, Consistency.SC),
+            "G-TSC-RC": self.run(workload, Protocol.GTSC, Consistency.RC),
+        }
+
+    def with_l1(self, workload: str) -> RunStats:
+        """The non-coherent "Baseline W/L1" bar (second group only)."""
+        return self.run(workload, Protocol.NONCOHERENT, Consistency.RC)

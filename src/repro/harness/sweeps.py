@@ -1,0 +1,100 @@
+"""Generic parameter sweeps.
+
+The figure functions in :mod:`repro.harness.experiments` are
+fixed-shape by design (they mirror the paper).  For exploration beyond
+the paper — "how does G-TSC behave as I scale the L1?" — this module
+provides a small sweep API::
+
+    from repro.harness.sweeps import sweep
+
+    series = sweep(runner, workloads=["BFS", "STN"],
+                   protocol=Protocol.GTSC, consistency=Consistency.RC,
+                   parameter="l1_size", values=[4096, 8192, 16384])
+    print(series.table())
+
+Every point reuses the runner's memoisation, so overlapping sweeps are
+cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.config import Consistency, Protocol
+from repro.harness.runner import ExperimentRunner
+from repro.stats.collector import RunStats
+
+# metric extractors available by name
+METRICS: Dict[str, Callable[[RunStats], float]] = {
+    "cycles": lambda s: float(s.cycles),
+    "noc_bytes": lambda s: float(s.noc_bytes),
+    "l1_hit_rate": lambda s: s.l1_hit_rate,
+    "stall_mem_cycles": lambda s: float(s.stall_mem_cycles),
+    "energy": lambda s: s.total_energy,
+    "dram_reads": lambda s: float(s.counter("dram_reads")),
+}
+
+
+@dataclass
+class SweepSeries:
+    """Results of one sweep: metric[workload][value]."""
+
+    parameter: str
+    values: List
+    workloads: List[str]
+    metric: str
+    data: Dict[str, List[float]] = field(default_factory=dict)
+
+    def series(self, workload: str) -> List[float]:
+        return self.data[workload]
+
+    def best_value(self, workload: str,
+                   minimise: bool = True) -> object:
+        """The swept value optimising the metric for one workload."""
+        series = self.data[workload]
+        pick = min if minimise else max
+        index = series.index(pick(series))
+        return self.values[index]
+
+    def table(self) -> str:
+        """Aligned text table: one row per workload."""
+        header = [f"{self.parameter}={v}" for v in self.values]
+        width = max(len(h) for h in header + ["workload"]) + 2
+        lines = [f"sweep of {self.parameter} ({self.metric}):"]
+        lines.append("".join(h.rjust(width) for h in ["workload"] + header))
+        for workload in self.workloads:
+            cells = [workload] + [f"{v:.4g}" for v in self.data[workload]]
+            lines.append("".join(c.rjust(width) for c in cells))
+        return "\n".join(lines)
+
+
+def sweep(runner: ExperimentRunner, workloads: Sequence[str],
+          parameter: str, values: Sequence,
+          protocol: Protocol = Protocol.GTSC,
+          consistency: Consistency = Consistency.RC,
+          metric: str = "cycles",
+          extract: Optional[Callable[[RunStats], float]] = None,
+          ) -> SweepSeries:
+    """Run ``workloads`` across ``values`` of one config ``parameter``.
+
+    ``metric`` names a built-in extractor (see :data:`METRICS`);
+    ``extract`` overrides it with a custom callable.
+    """
+    if extract is None:
+        try:
+            extract = METRICS[metric]
+        except KeyError:
+            known = ", ".join(sorted(METRICS))
+            raise KeyError(
+                f"unknown metric {metric!r}; known: {known}") from None
+    result = SweepSeries(parameter=parameter, values=list(values),
+                         workloads=list(workloads), metric=metric)
+    for workload in workloads:
+        series = []
+        for value in values:
+            stats = runner.run(workload, protocol, consistency,
+                               **{parameter: value})
+            series.append(extract(stats))
+        result.data[workload] = series
+    return result

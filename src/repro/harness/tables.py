@@ -1,0 +1,85 @@
+"""Result containers and text formatting for experiment output.
+
+Every experiment returns an :class:`ExperimentResult`; the benchmark
+scripts print it with :func:`format_result`, producing the same rows
+or bar series the paper's table/figure reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure.
+
+    ``rows`` are the data series (first column is the benchmark or
+    parameter); ``summary`` holds the figure-level aggregates the
+    paper quotes in prose (e.g. "38% over TC with RC").
+    """
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+    summary: Dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def column(self, header: str) -> List[Cell]:
+        """Extract one column by header name (test helper)."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def row(self, name: str) -> List[Cell]:
+        """Extract one row by its first-column label (test helper)."""
+        for row in self.rows:
+            if row[0] == name:
+                return row
+        raise KeyError(f"no row {name!r} in {self.experiment_id}")
+
+
+def _fmt_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_result(result: ExperimentResult) -> str:
+    """Render a result as an aligned text table."""
+    table: List[Sequence[str]] = [result.headers]
+    table += [[_fmt_cell(c) for c in row] for row in result.rows]
+    widths = [max(len(row[i]) for row in table)
+              for i in range(len(result.headers))]
+
+    def line(row: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width)
+                         for cell, width in zip(row, widths))
+
+    out = [f"== {result.experiment_id}: {result.title} ==", ""]
+    out.append(line(table[0]))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in table[1:])
+    if result.summary:
+        out.append("")
+        for key, value in result.summary.items():
+            out.append(f"  {key}: {value:.3f}")
+    if result.notes:
+        out.append("")
+        out.append(f"  note: {result.notes}")
+    return "\n".join(out)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's cross-benchmark aggregate)."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geomean needs positive values, got {value}")
+        product *= value
+    return product ** (1.0 / len(values))

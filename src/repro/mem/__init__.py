@@ -1,0 +1,15 @@
+"""Memory-system substrate: caches, MSHRs, NoC, DRAM."""
+
+from repro.mem.cache import CacheArray, CacheLine
+from repro.mem.dram import DRAMPartition
+from repro.mem.mshr import MSHRFullError, MSHRTable
+from repro.mem.noc import Network
+
+__all__ = [
+    "CacheArray",
+    "CacheLine",
+    "DRAMPartition",
+    "MSHRTable",
+    "MSHRFullError",
+    "Network",
+]

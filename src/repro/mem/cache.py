@@ -1,0 +1,198 @@
+"""Set-associative tag/state array shared by every cache in the model.
+
+The array stores :class:`CacheLine` records.  Protocol-specific state
+(timestamps for G-TSC, physical lease expiry for TC, dirty bits for the
+L2) lives in optional fields of the line record, so one structure
+serves every protocol.
+
+Addresses everywhere in the reproduction are *line addresses* — the
+byte address divided by the line size — because the coalescing unit in
+the SM has already reduced thread accesses to line granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+
+class CacheLine:
+    """One cache line's tag and protocol state.
+
+    ``version`` is the logical data payload: a monotonically increasing
+    per-address integer managed by :class:`repro.validate.VersionStore`.
+    Using versions instead of byte payloads lets the validators check
+    coherence exactly without simulating data movement.
+    """
+
+    __slots__ = (
+        "addr", "valid", "version", "dirty",
+        "wts", "rts", "expiry", "pending_stores", "lru", "epoch",
+        "renewals",
+    )
+
+    def __init__(self) -> None:
+        self.addr: int = -1
+        self.valid: bool = False
+        self.version: int = 0
+        self.dirty: bool = False
+        # G-TSC timestamps (logical)
+        self.wts: int = 0
+        self.rts: int = 0
+        # TC lease expiry (physical cycle)
+        self.expiry: int = 0
+        # number of unacknowledged stores targeting this line (G-TSC L1)
+        self.pending_stores: int = 0
+        # replacement age; larger = more recently used
+        self.lru: int = 0
+        # timestamp epoch for overflow handling (G-TSC)
+        self.epoch: int = 0
+        # renewal streak for the adaptive-lease extension
+        self.renewals: int = 0
+
+    def reset(self) -> None:
+        """Return the line to the invalid state."""
+        self.addr = -1
+        self.valid = False
+        self.version = 0
+        self.dirty = False
+        self.wts = 0
+        self.rts = 0
+        self.expiry = 0
+        self.pending_stores = 0
+        self.epoch = 0
+        self.renewals = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.valid:
+            return "<line invalid>"
+        return (
+            f"<line addr={self.addr} v{self.version} "
+            f"wts={self.wts} rts={self.rts} expiry={self.expiry}>"
+        )
+
+
+class CacheArray:
+    """A set-associative array of :class:`CacheLine` with LRU replacement.
+
+    The array never initiates traffic; controllers call
+    :meth:`lookup`, :meth:`allocate` and :meth:`invalidate` and decide
+    what the results mean for their protocol.
+    """
+
+    def __init__(self, num_sets: int, assoc: int) -> None:
+        if num_sets <= 0 or assoc <= 0:
+            raise ValueError("cache geometry must be positive")
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self._sets: list[list[CacheLine]] = [
+            [CacheLine() for _ in range(assoc)] for _ in range(num_sets)
+        ]
+        self._tick = 0
+
+    # -- internals -----------------------------------------------------------
+    def _set_of(self, addr: int) -> list[CacheLine]:
+        return self._sets[addr % self.num_sets]
+
+    def _touch(self, line: CacheLine) -> None:
+        self._tick += 1
+        line.lru = self._tick
+
+    # -- queries ---------------------------------------------------------------
+    def lookup(self, addr: int, touch: bool = True) -> Optional[CacheLine]:
+        """Return the valid line holding ``addr``, or None (no side effects
+        beyond an LRU touch)."""
+        for line in self._set_of(addr):
+            if line.valid and line.addr == addr:
+                if touch:
+                    self._touch(line)
+                return line
+        return None
+
+    def lines(self) -> Iterator[CacheLine]:
+        """Iterate over every valid line (flush helpers, validators)."""
+        for cache_set in self._sets:
+            for line in cache_set:
+                if line.valid:
+                    yield line
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently held."""
+        return sum(1 for _ in self.lines())
+
+    # -- mutation ----------------------------------------------------------------
+    def victim_for(
+        self,
+        addr: int,
+        evictable: Optional[Callable[[CacheLine], bool]] = None,
+    ) -> Optional[CacheLine]:
+        """Choose the line that would be (re)used to hold ``addr``.
+
+        Preference order: an invalid way, else the LRU way among those
+        for which ``evictable`` returns True.  Returns None when every
+        way is pinned (TC's lease-blocked replacement, Section II-D3).
+        """
+        cache_set = self._set_of(addr)
+        for line in cache_set:
+            if not line.valid:
+                return line
+        candidates = [
+            line for line in cache_set
+            if evictable is None or evictable(line)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda line: line.lru)
+
+    def allocate(
+        self,
+        addr: int,
+        evictable: Optional[Callable[[CacheLine], bool]] = None,
+    ) -> tuple[Optional[CacheLine], Optional[CacheLine]]:
+        """Install ``addr``, evicting if needed.
+
+        Returns ``(line, evicted_copy)``.  ``evicted_copy`` is a
+        detached :class:`CacheLine` snapshot of the victim when a valid
+        line was displaced (so the controller can write it back or fold
+        its timestamps into ``mem_ts``), else None.  When no victim is
+        evictable, returns ``(None, None)`` and the caller must retry.
+        """
+        existing = self.lookup(addr)
+        if existing is not None:
+            return existing, None
+        victim = self.victim_for(addr, evictable)
+        if victim is None:
+            return None, None
+        evicted: Optional[CacheLine] = None
+        if victim.valid:
+            evicted = CacheLine()
+            evicted.addr = victim.addr
+            evicted.valid = True
+            evicted.version = victim.version
+            evicted.dirty = victim.dirty
+            evicted.wts = victim.wts
+            evicted.rts = victim.rts
+            evicted.expiry = victim.expiry
+            evicted.epoch = victim.epoch
+        victim.reset()
+        victim.addr = addr
+        victim.valid = True
+        self._touch(victim)
+        return victim, evicted
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop ``addr`` if present.  Returns True when a line was dropped."""
+        line = self.lookup(addr, touch=False)
+        if line is None:
+            return False
+        line.reset()
+        return True
+
+    def flush(self) -> int:
+        """Invalidate every line; returns the number dropped."""
+        count = 0
+        for cache_set in self._sets:
+            for line in cache_set:
+                if line.valid:
+                    line.reset()
+                    count += 1
+        return count

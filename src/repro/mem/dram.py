@@ -1,0 +1,51 @@
+"""GDDR DRAM partitions.
+
+Each L2 bank owns one memory partition (Section II-A).  The partition
+is modelled as a fixed access latency plus a bandwidth-limited service
+queue: back-to-back line transfers serialize at
+``line_size / bandwidth`` cycles apiece, so memory-intensive phases
+see queuing delay on top of the base latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.engine import Engine
+from repro.stats.collector import StatsCollector
+
+
+class DRAMPartition:
+    """One memory partition behind one L2 bank."""
+
+    def __init__(self, engine: Engine, stats: StatsCollector,
+                 latency: int, bandwidth: int, line_size: int,
+                 name: str = "dram") -> None:
+        if bandwidth <= 0:
+            raise ValueError("DRAM bandwidth must be positive")
+        self.engine = engine
+        self.stats = stats
+        self.latency = latency
+        self.line_size = line_size
+        self.service_time = max(1, -(-line_size // bandwidth))
+        self.name = name
+        self._free_at = 0
+
+    def _schedule(self, done: Callable[[], None]) -> int:
+        start = max(self._free_at, self.engine.now)
+        finish = start + self.service_time
+        self._free_at = finish
+        completion = finish + self.latency
+        self.engine.at(completion, done)
+        return completion
+
+    def read(self, addr: int, done: Callable[[], None]) -> int:
+        """Fetch one line; ``done`` fires when data is available at L2."""
+        self.stats.add("dram_reads")
+        return self._schedule(done)
+
+    def write(self, addr: int) -> None:
+        """Write one line back to memory (fire-and-forget for timing)."""
+        self.stats.add("dram_writes")
+        start = max(self._free_at, self.engine.now)
+        self._free_at = start + self.service_time

@@ -1,0 +1,18 @@
+"""Coherence protocol implementations.
+
+The paper's contribution (G-TSC) lives in :mod:`repro.core`; this
+package holds the baselines it is evaluated against — Temporal
+Coherence (TC-Strong / TC-Weak), the no-L1 coherent baseline (BL), and
+the non-coherent L1 baseline — plus the shared plumbing in
+:mod:`repro.protocols.base`.
+"""
+
+from repro.protocols.base import L1ControllerBase, L2BankBase, Message
+from repro.protocols.factory import build_protocol
+
+__all__ = [
+    "L1ControllerBase",
+    "L2BankBase",
+    "Message",
+    "build_protocol",
+]

@@ -1,0 +1,237 @@
+"""Shared protocol plumbing: messages, controller bases, waiter records.
+
+Every protocol is expressed as a per-SM L1 controller plus a per-bank
+L2 controller exchanging messages over the NoC.  The bases here own
+the mechanics all protocols share — message sizing, the L2 bank's
+service pipeline, the miss path to DRAM — so each protocol file only
+contains its actual state machine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.mem.cache import CacheArray, CacheLine
+from repro.mem.mshr import MSHRFullError, MSHRTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gpu.machine import Machine
+    from repro.gpu.warp import Warp
+
+
+# ---------------------------------------------------------------------------
+# messages
+# ---------------------------------------------------------------------------
+
+class Message:
+    """Base class for everything that crosses the NoC.
+
+    Concrete messages define :meth:`payload_bytes` (on top of the
+    common header) and a traffic ``kind`` ("ctrl" or "data") used by
+    the Figure-15 accounting.  ``addr`` is always a line address.
+    """
+
+    kind = "ctrl"
+
+    __slots__ = ("addr", "sm")
+
+    def __init__(self, addr: int, sm: int) -> None:
+        self.addr = addr
+        self.sm = sm
+
+    def payload_bytes(self, config) -> int:
+        """Bytes carried beyond the routing header."""
+        return 0
+
+    def size(self, config) -> int:
+        """Total on-wire size of the message."""
+        return config.noc_header_bytes + self.payload_bytes(config)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} addr={self.addr:#x} sm={self.sm}>"
+
+
+# ---------------------------------------------------------------------------
+# waiter records
+# ---------------------------------------------------------------------------
+
+class LoadWaiter:
+    """A warp's load parked in an L1 MSHR entry."""
+
+    __slots__ = ("warp", "on_done", "issue_cycle")
+
+    def __init__(self, warp: "Warp", on_done: Callable[[], None],
+                 issue_cycle: int) -> None:
+        self.warp = warp
+        self.on_done = on_done
+        self.issue_cycle = issue_cycle
+
+
+class PendingStore:
+    """A store issued by the SM, awaiting its L2 acknowledgment."""
+
+    __slots__ = ("warp", "addr", "version", "on_done", "issue_cycle")
+
+    def __init__(self, warp: "Warp", addr: int, version: int,
+                 on_done: Callable[[], None], issue_cycle: int) -> None:
+        self.warp = warp
+        self.addr = addr
+        self.version = version
+        self.on_done = on_done
+        self.issue_cycle = issue_cycle
+
+
+class PendingAtomic:
+    """An atomic RMW issued by the SM, awaiting the L2's old value."""
+
+    __slots__ = ("warp", "addr", "version", "on_done", "issue_cycle")
+
+    def __init__(self, warp: "Warp", addr: int, version: int,
+                 on_done: Callable[[], None], issue_cycle: int) -> None:
+        self.warp = warp
+        self.addr = addr
+        self.version = version
+        self.on_done = on_done
+        self.issue_cycle = issue_cycle
+
+
+# ---------------------------------------------------------------------------
+# L1 controller base
+# ---------------------------------------------------------------------------
+
+class L1ControllerBase:
+    """Per-SM private-cache controller.
+
+    The SM calls :meth:`load` / :meth:`store`; both return True when
+    the access was accepted and False when a structural hazard (full
+    MSHR) forces the SM to retry later.  Completion is signalled
+    through the ``on_done`` callback.
+    """
+
+    def __init__(self, sm_id: int, machine: "Machine") -> None:
+        self.sm_id = sm_id
+        self.machine = machine
+        self.config = machine.config
+        self.engine = machine.engine
+        self.stats = machine.stats
+        self.mshr = MSHRTable(machine.config.l1_mshr_entries)
+
+    # -- SM-facing interface ---------------------------------------------------
+    def load(self, warp: "Warp", addr: int,
+             on_done: Callable[[], None]) -> bool:
+        raise NotImplementedError
+
+    def store(self, warp: "Warp", addr: int,
+              on_done: Callable[[], None]) -> bool:
+        raise NotImplementedError
+
+    def atomic(self, warp: "Warp", addr: int,
+               on_done: Callable[[], None]) -> bool:
+        """Issue an atomic RMW (performed at the L2, like real GPUs)."""
+        raise NotImplementedError
+
+    def receive(self, msg: Message) -> None:
+        """Handle a response delivered by the NoC."""
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Invalidate private state at kernel boundaries."""
+
+    # -- helpers -----------------------------------------------------------------
+    def _send(self, msg: Message) -> None:
+        """Route a request to the home L2 bank of ``msg.addr``."""
+        self.machine.send_to_bank(self.sm_id, msg)
+
+    def _complete(self, callback: Callable[[], None],
+                  delay: int = 0) -> None:
+        """Fire an SM completion callback ``delay`` cycles from now."""
+        self.engine.schedule(delay, callback)
+
+
+# ---------------------------------------------------------------------------
+# L2 bank base
+# ---------------------------------------------------------------------------
+
+class L2BankBase:
+    """One bank of the shared L2 cache.
+
+    Owns the tag array, the bank's service pipeline (requests occupy
+    the bank for ``l2_service`` cycles and complete an access
+    ``l2_latency`` later), and the miss path to the bank's DRAM
+    partition.  Subclasses implement :meth:`_process` (the protocol
+    state machine) plus the fill/eviction hooks.
+    """
+
+    def __init__(self, bank_id: int, machine: "Machine") -> None:
+        self.bank_id = bank_id
+        self.machine = machine
+        self.config = machine.config
+        self.engine = machine.engine
+        self.stats = machine.stats
+        self.cache = CacheArray(machine.config.l2_sets,
+                                machine.config.l2_assoc)
+        self.mshr = MSHRTable(machine.config.l2_mshr_entries)
+        self.dram = machine.drams[bank_id]
+        self._ready_at = 0
+
+    # -- arrival / pipeline --------------------------------------------------
+    def receive(self, msg: Message) -> None:
+        """A request arrived from the NoC; enter the bank pipeline."""
+        self.stats.add("l2_access")
+        start = max(self._ready_at, self.engine.now)
+        self._ready_at = start + self.config.l2_service
+        self.engine.at(start + self.config.l2_latency, self._process, msg)
+
+    def _process(self, msg: Message) -> None:
+        raise NotImplementedError
+
+    # -- miss path ----------------------------------------------------------------
+    def _miss(self, msg: Message) -> None:
+        """Park ``msg`` on the line's MSHR entry and fetch from DRAM.
+
+        When the MSHR is full the message is retried through the bank
+        pipeline after a back-off, modelling input-queue pressure.
+        """
+        self.stats.add("l2_miss")
+        try:
+            entry = self.mshr.allocate(msg.addr)
+        except MSHRFullError:
+            self.stats.add("l2_mshr_stall")
+            self.engine.schedule(self.config.mshr_retry_interval,
+                                 self.receive, msg)
+            return
+        entry.waiters.append(msg)
+        if not entry.issued:
+            entry.issued = True
+            self.dram.read(msg.addr, lambda a=msg.addr: self._dram_fill(a))
+
+    def _dram_fill(self, addr: int) -> None:
+        """Data returned from DRAM: install the line, replay waiters."""
+        line = self._install_fill(addr)
+        if line is None:
+            # replacement stalled (TC inclusion): try again shortly
+            self.stats.add("l2_evict_stall")
+            self.engine.schedule(self.config.mshr_retry_interval,
+                                 self._dram_fill, addr)
+            return
+        for msg in self.mshr.drain(addr):
+            self._process(msg)
+
+    def _install_fill(self, addr: int) -> Optional[CacheLine]:
+        """Install a DRAM fill; protocol chooses victims and metadata."""
+        raise NotImplementedError
+
+    # -- eviction helpers -------------------------------------------------------
+    def _writeback(self, evicted: CacheLine) -> None:
+        """Write a dirty victim to memory and update the memory image."""
+        if evicted.dirty:
+            self.machine.memory_image[evicted.addr] = evicted.version
+            self.dram.write(evicted.addr)
+
+    def _memory_version(self, addr: int) -> int:
+        """The version currently held by DRAM for ``addr``."""
+        return self.machine.memory_image.get(addr, 0)
+
+    # -- response path -----------------------------------------------------------
+    def _reply(self, sm_id: int, msg: Message) -> None:
+        self.machine.send_to_sm(self.bank_id, sm_id, msg)

@@ -1,0 +1,55 @@
+"""Instantiate the configured protocol's L1 controllers and L2 banks."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import Protocol
+from repro.core.l1 import GTSCL1Controller
+from repro.core.l2 import GTSCL2Bank
+from repro.core.timestamps import TimestampDomain
+from repro.protocols.plain import (
+    DisabledL1Controller,
+    NonCoherentL1Controller,
+    PlainL2Bank,
+)
+from repro.protocols.tc import TCL1Controller, TCL2Bank
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.machine import Machine
+
+
+def build_protocol(machine: "Machine") -> None:
+    """Populate ``machine.l1s`` and ``machine.l2_banks`` per the config."""
+    config = machine.config
+    if config.protocol is Protocol.GTSC:
+        domain = TimestampDomain(config.ts_max, config.lease,
+                                 machine.stats)
+        machine.timestamp_domain = domain
+        machine.l2_banks = [GTSCL2Bank(b, machine, domain)
+                            for b in range(config.num_l2_banks)]
+        machine.l1s = [GTSCL1Controller(s, machine)
+                       for s in range(config.num_sms)]
+    elif config.protocol is Protocol.TC:
+        machine.l2_banks = [TCL2Bank(b, machine)
+                            for b in range(config.num_l2_banks)]
+        machine.l1s = [TCL1Controller(s, machine)
+                       for s in range(config.num_sms)]
+    elif config.protocol is Protocol.DISABLED:
+        machine.l2_banks = [PlainL2Bank(b, machine)
+                            for b in range(config.num_l2_banks)]
+        machine.l1s = [DisabledL1Controller(s, machine)
+                       for s in range(config.num_sms)]
+    elif config.protocol is Protocol.NONCOHERENT:
+        machine.l2_banks = [PlainL2Bank(b, machine)
+                            for b in range(config.num_l2_banks)]
+        machine.l1s = [NonCoherentL1Controller(s, machine)
+                       for s in range(config.num_sms)]
+    elif config.protocol is Protocol.MESI:
+        from repro.protocols.mesi import MESIL1Controller, MESIL2Bank
+        machine.l2_banks = [MESIL2Bank(b, machine)
+                            for b in range(config.num_l2_banks)]
+        machine.l1s = [MESIL1Controller(s, machine)
+                       for s in range(config.num_sms)]
+    else:  # pragma: no cover - enum is exhaustive
+        raise ValueError(f"unknown protocol: {config.protocol}")

@@ -1,0 +1,433 @@
+"""Temporal Coherence (TC) — the time-based baseline (Section II-D).
+
+TC assigns each L1 copy a *physical-time* lease counted on globally
+synchronized counters.  The behaviours that G-TSC is designed to
+remove are modelled faithfully:
+
+* **Write stalls (TC-Strong / SC):** a store must wait at the L2 until
+  every outstanding lease on the line has expired; while it waits, all
+  subsequent requests to the line queue behind it (Section II-D3).
+* **GWCT (TC-Weak / RC):** stores complete immediately but their
+  acknowledgment carries the Global Write Completion Time — the cycle
+  at which all stale copies will have self-invalidated — and fences
+  stall the warp until that physical time.
+* **Inclusive L2 (Section II-D2):** a line with an unexpired lease
+  cannot be evicted; when every way of a set is lease-pinned,
+  replacement itself stalls.
+* **Expiration misses:** leases expire with wall-clock time whether or
+  not anybody wrote, so read-mostly data is periodically refetched —
+  with full data responses, since TC has no data-less renewal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Dict, Optional
+
+from repro.config import CombiningPolicy, Consistency
+from repro.mem.cache import CacheArray, CacheLine
+from repro.protocols.base import (
+    L1ControllerBase,
+    L2BankBase,
+    LoadWaiter,
+    Message,
+    PendingAtomic,
+    PendingStore,
+)
+from repro.validate.versions import AtomicRecord, LoadRecord, StoreRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.machine import Machine
+    from repro.gpu.warp import Warp
+
+
+# ---------------------------------------------------------------------------
+# messages
+# ---------------------------------------------------------------------------
+
+class TCRd(Message):
+    """Read request; TC has no renewal, so no timestamps are carried."""
+
+    kind = "ctrl"
+    __slots__ = ()
+
+
+class TCWr(Message):
+    """Write-through store with data."""
+
+    kind = "data"
+    __slots__ = ("version",)
+
+    def __init__(self, addr: int, sm: int, version: int) -> None:
+        super().__init__(addr, sm)
+        self.version = version
+
+    def payload_bytes(self, config) -> int:
+        return config.line_size
+
+
+class TCFill(Message):
+    """Data plus the granted lease's expiry time (32-bit)."""
+
+    kind = "data"
+    __slots__ = ("version", "expiry")
+
+    def __init__(self, addr: int, sm: int, version: int,
+                 expiry: int) -> None:
+        super().__init__(addr, sm)
+        self.version = version
+        self.expiry = expiry
+
+    def payload_bytes(self, config) -> int:
+        return config.tc_timestamp_bytes + config.line_size
+
+
+class TCWrAck(Message):
+    """Write acknowledgment carrying the GWCT (32-bit)."""
+
+    kind = "ctrl"
+    __slots__ = ("gwct",)
+
+    def __init__(self, addr: int, sm: int, gwct: int) -> None:
+        super().__init__(addr, sm)
+        self.gwct = gwct
+
+    def payload_bytes(self, config) -> int:
+        return config.tc_timestamp_bytes
+
+
+class TCAtm(Message):
+    """Atomic RMW request (operand word only)."""
+
+    kind = "data"
+    __slots__ = ("version",)
+
+    def __init__(self, addr: int, sm: int, version: int) -> None:
+        super().__init__(addr, sm)
+        self.version = version
+
+    def payload_bytes(self, config) -> int:
+        return 8
+
+
+class TCAtmAck(Message):
+    """Atomic response: old value plus GWCT."""
+
+    kind = "ctrl"
+    __slots__ = ("old_version", "gwct")
+
+    def __init__(self, addr: int, sm: int, old_version: int,
+                 gwct: int) -> None:
+        super().__init__(addr, sm)
+        self.old_version = old_version
+        self.gwct = gwct
+
+    def payload_bytes(self, config) -> int:
+        return config.tc_timestamp_bytes + 8
+
+
+# ---------------------------------------------------------------------------
+# L1 controller
+# ---------------------------------------------------------------------------
+
+class TCL1Controller(L1ControllerBase):
+    """Per-SM L1 under Temporal Coherence."""
+
+    def __init__(self, sm_id: int, machine: "Machine") -> None:
+        super().__init__(sm_id, machine)
+        config = machine.config
+        self.cache = CacheArray(config.l1_sets, config.l1_assoc)
+        self._pending_stores: Dict[int, Deque[PendingStore]] = {}
+        self._pending_atomics: Dict[int, Deque[PendingAtomic]] = {}
+
+    def load(self, warp: "Warp", addr: int,
+             on_done: Callable[[], None]) -> bool:
+        self.stats.add("l1_access")
+        line = self.cache.lookup(addr)
+        if line is not None and self.engine.now < line.expiry:
+            self.stats.add("l1_hit")
+            self._record_load(warp, addr, line.version, self.engine.now,
+                              hit=True)
+            self._complete(on_done, self.config.l1_latency)
+            return True
+
+        self.stats.add("l1_miss")
+        if line is not None:
+            # tag matched but the lease ran out: the self-invalidation
+            # ("coherence") miss that physical time forces on TC
+            self.stats.add("l1_expired_miss")
+
+        waiter = LoadWaiter(warp, on_done, self.engine.now)
+        entry = self.mshr.get(addr)
+        combine = self.config.combining is CombiningPolicy.MSHR
+        if entry is not None and combine:
+            entry.waiters.append(waiter)
+            return True
+        if entry is None:
+            if self.mshr.full:
+                self.stats.add("l1_mshr_stall")
+                return False
+            entry = self.mshr.allocate(addr)
+        entry.waiters.append(waiter)
+        self._send(TCRd(addr, self.sm_id))
+        entry.issued = True
+        return True
+
+    def store(self, warp: "Warp", addr: int,
+              on_done: Callable[[], None]) -> bool:
+        self.stats.add("l1_access")
+        self.stats.add("l1_store")
+        version = self.machine.versions.new_version(addr)
+        # write-through, no-write-allocate: drop the (now stale) local
+        # copy so this SM's later reads fetch the written value from L2
+        self.cache.invalidate(addr)
+        pending = PendingStore(warp, addr, version, on_done,
+                               self.engine.now)
+        self._pending_stores.setdefault(addr, deque()).append(pending)
+        self._send(TCWr(addr, self.sm_id, version))
+        return True
+
+    def atomic(self, warp: "Warp", addr: int,
+               on_done: Callable[[], None]) -> bool:
+        self.stats.add("l1_access")
+        self.stats.add("l1_atomic")
+        version = self.machine.versions.new_version(addr)
+        # like stores: performed at L2, local copy dropped
+        self.cache.invalidate(addr)
+        pending = PendingAtomic(warp, addr, version, on_done,
+                                self.engine.now)
+        self._pending_atomics.setdefault(addr, deque()).append(pending)
+        self._send(TCAtm(addr, self.sm_id, version))
+        return True
+
+    def receive(self, msg: Message) -> None:
+        if isinstance(msg, TCFill):
+            self._on_fill(msg)
+        elif isinstance(msg, TCWrAck):
+            self._on_write_ack(msg)
+        elif isinstance(msg, TCAtmAck):
+            self._on_atomic_ack(msg)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected message at TC L1: {msg!r}")
+
+    def _on_fill(self, msg: TCFill) -> None:
+        if msg.expiry <= self.engine.now:
+            # the lease died in flight (NoC delay): the value was
+            # current when the L2 served it, so the waiting loads may
+            # still consume it, but the line cannot be cached — the
+            # next access will miss again (the cost of a short lease)
+            self.stats.add("l1_dead_on_arrival")
+        else:
+            line, _evicted = self.cache.allocate(msg.addr)
+            if line is not None:
+                line.version = msg.version
+                line.expiry = msg.expiry
+        for waiter in self.mshr.drain(msg.addr):
+            self._record_load(waiter.warp, msg.addr, msg.version,
+                              waiter.issue_cycle, hit=False)
+            self._complete(waiter.on_done)
+
+    def _on_write_ack(self, msg: TCWrAck) -> None:
+        queue = self._pending_stores.get(msg.addr)
+        if not queue:  # pragma: no cover - defensive
+            raise RuntimeError(f"write ack with no pending store: {msg!r}")
+        pending = queue.popleft()
+        if not queue:
+            self._pending_stores.pop(msg.addr, None)
+        # TC-Weak: remember when this write becomes globally visible
+        pending.warp.gwct = max(pending.warp.gwct, msg.gwct)
+        self.stats.hist.add("store_latency",
+                            self.engine.now - pending.issue_cycle)
+        self.machine.log.record_store(StoreRecord(
+            warp_uid=pending.warp.uid,
+            addr=msg.addr,
+            version=pending.version,
+            logical_ts=0,
+            epoch=0,
+            issue_cycle=pending.issue_cycle,
+            complete_cycle=self.engine.now,
+        ))
+        self._complete(pending.on_done)
+
+    def _on_atomic_ack(self, msg: TCAtmAck) -> None:
+        queue = self._pending_atomics.get(msg.addr)
+        if not queue:  # pragma: no cover - defensive
+            raise RuntimeError(f"atomic ack with no pending RMW: {msg!r}")
+        pending = queue.popleft()
+        if not queue:
+            self._pending_atomics.pop(msg.addr, None)
+        pending.warp.gwct = max(pending.warp.gwct, msg.gwct)
+        self.stats.hist.add("atomic_latency",
+                            self.engine.now - pending.issue_cycle)
+        self.machine.log.record_atomic(AtomicRecord(
+            warp_uid=pending.warp.uid,
+            addr=msg.addr,
+            old_version=msg.old_version,
+            new_version=pending.version,
+            logical_ts=0,
+            epoch=0,
+            issue_cycle=pending.issue_cycle,
+            complete_cycle=self.engine.now,
+        ))
+        self._complete(pending.on_done)
+
+    def flush(self) -> None:
+        self.cache.flush()
+
+    def _record_load(self, warp: "Warp", addr: int, version: int,
+                     issue_cycle: int, hit: bool) -> None:
+        self.stats.hist.add("load_latency",
+                            self.engine.now - issue_cycle)
+        self.machine.log.record_load(LoadRecord(
+            warp_uid=warp.uid,
+            addr=addr,
+            version=version,
+            logical_ts=0,
+            epoch=0,
+            issue_cycle=issue_cycle,
+            complete_cycle=self.engine.now,
+            l1_hit=hit,
+        ))
+
+
+# ---------------------------------------------------------------------------
+# L2 bank
+# ---------------------------------------------------------------------------
+
+class TCL2Bank(L2BankBase):
+    """One bank of the shared cache under Temporal Coherence.
+
+    ``line.expiry`` tracks the latest lease end granted on the line.
+    Under TC-Strong a write arriving before that time parks, blocks the
+    line, and performs exactly at expiry; under TC-Weak it performs
+    immediately and the ack carries ``max(now, expiry)`` as the GWCT.
+    """
+
+    def __init__(self, bank_id: int, machine: "Machine") -> None:
+        super().__init__(bank_id, machine)
+        self.strong = machine.config.consistency is Consistency.SC
+        # lines currently blocked behind a waiting write
+        self._blocked: Dict[int, Deque[Message]] = {}
+
+    # -- dispatch ------------------------------------------------------------
+    def _process(self, msg: Message) -> None:
+        blocked = self._blocked.get(msg.addr)
+        if blocked is not None:
+            # a write is waiting on this line: everything queues behind
+            # it (Section II-D3's lease-induced contention)
+            blocked.append(msg)
+            self.stats.add("l2_blocked_requests")
+            return
+        if isinstance(msg, TCRd):
+            self._read(msg)
+        elif isinstance(msg, TCWr):
+            self._write(msg)
+        elif isinstance(msg, TCAtm):
+            self._atomic(msg)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected message at TC L2: {msg!r}")
+
+    def _read(self, msg: TCRd) -> None:
+        line = self.cache.lookup(msg.addr)
+        if line is None:
+            self._miss(msg)
+            return
+        self.stats.add("l2_hit")
+        grant = self.engine.now + self.config.tc_lease
+        line.expiry = max(line.expiry, grant)
+        self._reply(msg.sm, TCFill(msg.addr, msg.sm, line.version, grant))
+
+    def _write(self, msg: TCWr) -> None:
+        line = self.cache.lookup(msg.addr)
+        if line is None:
+            self._miss(msg)
+            return
+        self.stats.add("l2_hit")
+        now = self.engine.now
+        if self.strong and now < line.expiry:
+            # TC-Strong: wait for every outstanding lease to expire
+            self.stats.add("l2_write_stalls")
+            self.stats.add("l2_write_stall_cycles", line.expiry - now)
+            self._blocked[msg.addr] = deque()
+            self.engine.at(line.expiry, self._perform_blocked_write, msg)
+            return
+        self._perform_write(msg, line)
+
+    def _perform_blocked_write(self, msg: TCWr) -> None:
+        line = self.cache.lookup(msg.addr)
+        if line is None:  # pragma: no cover - lease-pinned, can't evict
+            raise RuntimeError("blocked line evicted under inclusion")
+        self._perform_write(msg, line)
+        # replay everything that queued behind the write, in order
+        parked = self._blocked.pop(msg.addr, deque())
+        for queued in parked:
+            self._process(queued)
+
+    def _perform_write(self, msg: TCWr, line: CacheLine) -> None:
+        now = self.engine.now
+        gwct = max(now, line.expiry)
+        line.version = msg.version
+        line.dirty = True
+        self.machine.versions.record_wts(msg.addr, msg.version, now)
+        self._reply(msg.sm, TCWrAck(msg.addr, msg.sm, gwct))
+
+    def _atomic(self, msg: TCAtm) -> None:
+        """Atomic RMW: follows the write path, returning the old value.
+
+        TC-Strong parks the atomic behind unexpired leases exactly
+        like a store; TC-Weak performs it immediately and reports the
+        GWCT, so the atomicity point is the L2 but global visibility
+        still waits for self-invalidation.
+        """
+        line = self.cache.lookup(msg.addr)
+        if line is None:
+            self._miss(msg)
+            return
+        self.stats.add("l2_hit")
+        self.stats.add("l2_atomics")
+        now = self.engine.now
+        if self.strong and now < line.expiry:
+            self.stats.add("l2_write_stalls")
+            self.stats.add("l2_write_stall_cycles", line.expiry - now)
+            self._blocked[msg.addr] = deque()
+            self.engine.at(line.expiry, self._perform_blocked_atomic, msg)
+            return
+        self._perform_atomic(msg, line)
+
+    def _perform_blocked_atomic(self, msg: TCAtm) -> None:
+        line = self.cache.lookup(msg.addr)
+        if line is None:  # pragma: no cover - lease-pinned, can't evict
+            raise RuntimeError("blocked line evicted under inclusion")
+        self._perform_atomic(msg, line)
+        parked = self._blocked.pop(msg.addr, deque())
+        for queued in parked:
+            self._process(queued)
+
+    def _perform_atomic(self, msg: TCAtm, line: CacheLine) -> None:
+        now = self.engine.now
+        gwct = max(now, line.expiry)
+        old_version = line.version
+        line.version = msg.version
+        line.dirty = True
+        self.machine.versions.record_wts(msg.addr, msg.version, now)
+        self._reply(msg.sm, TCAtmAck(msg.addr, msg.sm, old_version, gwct))
+
+    # -- fill / inclusion -------------------------------------------------------
+    def _install_fill(self, addr: int) -> Optional[CacheLine]:
+        now = self.engine.now
+        line, evicted = self.cache.allocate(
+            addr,
+            evictable=lambda l: l.expiry <= now and l.addr not in
+            self._blocked,
+        )
+        if line is None:
+            # every way lease-pinned: the delayed-eviction stall TC's
+            # inclusive L2 suffers (Section II-D2)
+            return None
+        if evicted is not None:
+            self.stats.add("l2_evictions")
+            self._writeback(evicted)
+        line.version = self._memory_version(addr)
+        line.dirty = False
+        line.expiry = 0
+        return line

@@ -1,0 +1,5 @@
+"""Deterministic event-driven simulation kernel."""
+
+from repro.sim.engine import Engine, Event
+
+__all__ = ["Engine", "Event"]

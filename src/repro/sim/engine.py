@@ -1,0 +1,115 @@
+"""The discrete-event simulation engine.
+
+Every timing component in the reproduction (SMs, NoC links, L2 banks,
+DRAM partitions) advances time by scheduling callbacks on a single
+shared :class:`Engine`.  The engine is strictly deterministic: events
+scheduled for the same cycle fire in scheduling order (a monotone
+sequence number breaks ties), so repeated runs of the same workload
+produce bit-identical statistics.
+
+There is deliberately no per-cycle ``tick()`` loop — idle cycles are
+skipped entirely by jumping the clock to the next scheduled event.
+This is what makes a pure-Python cycle-level GPU model tractable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Ordered by ``(time, seq)`` so same-cycle events preserve their
+    scheduling order.  Cancelled events stay in the heap but are
+    skipped when popped.
+    """
+
+    time: int
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent this event from firing; safe to call more than once."""
+        self.cancelled = True
+
+
+class Engine:
+    """A deterministic event heap with an integer clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self.now = 0
+        self.events_fired = 0
+
+    def schedule(self, delay: int, callback: Callable[..., None],
+                 *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` cycles from now.
+
+        ``delay`` must be non-negative; a zero delay fires later in the
+        current cycle, after all previously scheduled current-cycle
+        events.  Returns the :class:`Event`, which may be cancelled.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        event = Event(self.now + delay, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def at(self, time: int, callback: Callable[..., None],
+           *args: Any) -> Event:
+        """Schedule ``callback`` at an absolute cycle (>= now)."""
+        return self.schedule(time - self.now, callback, *args)
+
+    def peek(self) -> Optional[int]:
+        """Return the time of the next pending event, or None if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when the heap is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_fired += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Drain the event heap.
+
+        Stops when the heap is empty, when the clock would pass
+        ``until``, or after ``max_events`` events (a safety valve for
+        tests against livelock).  Returns the final clock value.
+        """
+        fired = 0
+        while True:
+            next_time = self.peek()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            if max_events is not None and fired >= max_events:
+                raise RuntimeError(
+                    f"engine exceeded {max_events} events at cycle {self.now}"
+                )
+            self.step()
+            fired += 1
+        return self.now
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)

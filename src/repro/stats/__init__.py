@@ -1,0 +1,5 @@
+"""Statistics collection for simulation runs."""
+
+from repro.stats.collector import RunStats, StatsCollector
+
+__all__ = ["RunStats", "StatsCollector"]

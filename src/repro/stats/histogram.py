@@ -1,0 +1,108 @@
+"""Power-of-two bucketed histograms for latency distributions.
+
+Counters answer "how many"; the histograms here answer "how long" —
+memory-request latency distributions are what separate a protocol that
+merely averages well from one with a long stall tail (TC's write
+stalls show up as exactly such a tail).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+
+class Histogram:
+    """Counts samples in power-of-two buckets: [0], [1], [2-3], [4-7]…"""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.max_value = 0
+
+    @staticmethod
+    def bucket_of(value: int) -> int:
+        """The bucket index for ``value`` (its bit length)."""
+        if value < 0:
+            raise ValueError("histogram values must be non-negative")
+        return value.bit_length()
+
+    @staticmethod
+    def bucket_range(index: int) -> Tuple[int, int]:
+        """The inclusive [low, high] range of bucket ``index``."""
+        if index == 0:
+            return (0, 0)
+        return (1 << (index - 1), (1 << index) - 1)
+
+    def add(self, value: int, count: int = 1) -> None:
+        """Record ``count`` samples of ``value``."""
+        index = self.bucket_of(value)
+        self._buckets[index] = self._buckets.get(index, 0) + count
+        self.count += count
+        self.total += value * count
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> int:
+        """Upper bound of the bucket containing the given percentile.
+
+        Bucketed, so this is an upper estimate — good enough to see a
+        stall tail move by orders of magnitude.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if self.count == 0:
+            return 0
+        threshold = fraction * self.count
+        running = 0
+        for index in sorted(self._buckets):
+            running += self._buckets[index]
+            if running >= threshold:
+                return self.bucket_range(index)[1]
+        return self.bucket_range(max(self._buckets))[1]
+
+    def buckets(self) -> Iterator[Tuple[Tuple[int, int], int]]:
+        """Yield ((low, high), count) in ascending order."""
+        for index in sorted(self._buckets):
+            yield self.bucket_range(index), self._buckets[index]
+
+    def render(self, width: int = 40) -> str:
+        """An ASCII rendering for examples and reports."""
+        if self.count == 0:
+            return f"{self.name}: (empty)"
+        peak = max(self._buckets.values())
+        lines = [f"{self.name}: n={self.count} mean={self.mean:.1f} "
+                 f"p99<={self.percentile(0.99)} max={self.max_value}"]
+        for (low, high), count in self.buckets():
+            bar = "#" * max(1, round(count / peak * width))
+            label = f"{low}" if low == high else f"{low}-{high}"
+            lines.append(f"  {label:>12s} {count:8d} {bar}")
+        return "\n".join(lines)
+
+
+class HistogramSet:
+    """Lazily created named histograms, one bag per simulation."""
+
+    def __init__(self) -> None:
+        self._histograms: Dict[str, Histogram] = {}
+
+    def get(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = Histogram(name)
+            self._histograms[name] = histogram
+        return histogram
+
+    def add(self, name: str, value: int) -> None:
+        self.get(name).add(value)
+
+    def names(self) -> List[str]:
+        return sorted(self._histograms)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._histograms

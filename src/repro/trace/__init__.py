@@ -1,0 +1,29 @@
+"""Warp-level instruction traces.
+
+The simulator is trace-driven: each warp executes a straight-line
+sequence of :class:`Instr`.  Memory instructions operate on *line
+addresses* — the coalescing unit's work is assumed done, so one load
+or store instruction carries the 1-4 distinct line addresses a real
+warp's 32 threads typically coalesce into (Section II-A).
+"""
+
+from repro.trace.instr import (
+    ATOMIC,
+    COMPUTE,
+    FENCE,
+    LOAD,
+    STORE,
+    Instr,
+    Kernel,
+    atomic,
+    compute,
+    fence,
+    load,
+    store,
+)
+
+__all__ = [
+    "ATOMIC", "COMPUTE", "FENCE", "LOAD", "STORE",
+    "Instr", "Kernel",
+    "atomic", "compute", "fence", "load", "store",
+]

@@ -1,0 +1,138 @@
+"""Instruction and kernel record types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+# opcode constants (plain strings keep traces printable and picklable)
+COMPUTE = "compute"
+LOAD = "load"
+STORE = "store"
+FENCE = "fence"
+ATOMIC = "atomic"
+BARRIER = "barrier"
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One warp instruction.
+
+    ``addrs`` holds the coalesced line addresses of a memory
+    instruction; ``cycles`` the latency of a compute instruction.
+    """
+
+    op: str
+    addrs: Tuple[int, ...] = ()
+    cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in (COMPUTE, LOAD, STORE, FENCE, ATOMIC,
+                           BARRIER):
+            raise ValueError(f"unknown opcode: {self.op!r}")
+        if self.op in (LOAD, STORE, ATOMIC) and not self.addrs:
+            raise ValueError(f"{self.op} needs at least one address")
+        if self.op == COMPUTE and self.cycles <= 0:
+            raise ValueError("compute needs a positive cycle count")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op in (LOAD, STORE, ATOMIC)
+
+
+def compute(cycles: int) -> Instr:
+    """``cycles`` of non-memory work (models ALU instructions)."""
+    return Instr(COMPUTE, cycles=cycles)
+
+
+def load(*addrs: int) -> Instr:
+    """A coalesced load of the given line addresses."""
+    return Instr(LOAD, addrs=tuple(addrs))
+
+
+def store(*addrs: int) -> Instr:
+    """A coalesced store to the given line addresses."""
+    return Instr(STORE, addrs=tuple(addrs))
+
+
+def fence() -> Instr:
+    """A memory fence (drains the warp's outstanding operations)."""
+    return Instr(FENCE)
+
+
+def atomic(*addrs: int) -> Instr:
+    """An atomic read-modify-write on the given lines.
+
+    GPU atomics execute at the shared L2 (the point of coherence), so
+    every protocol forwards them there; the warp blocks until the old
+    value returns, exactly like a load.
+    """
+    return Instr(ATOMIC, addrs=tuple(addrs))
+
+
+def barrier() -> Instr:
+    """An intra-CTA barrier (CUDA ``__syncthreads``).
+
+    Every warp of the CTA must arrive before any proceeds.  In this
+    model a barrier also drains the arriving warp's outstanding memory
+    operations (``__syncthreads`` plus a block-level fence), which is
+    the ordering CTA-cooperative kernels rely on.
+    """
+    return Instr(BARRIER)
+
+
+@dataclass
+class Kernel:
+    """A launchable kernel: one instruction trace per warp.
+
+    ``cta_size`` groups consecutive warps into Cooperative Thread
+    Arrays: all warps of a CTA are placed on the *same* SM (the
+    hardware guarantee CUDA barriers rely on) and CTAs are assigned to
+    SMs round-robin.  With the default ``cta_size=1`` every warp is
+    its own CTA and placement degenerates to plain round-robin.  When
+    a kernel has more warps than the machine has slots, whole CTAs
+    queue and activate in waves as earlier ones retire.
+    """
+
+    name: str
+    warp_traces: List[List[Instr]] = field(default_factory=list)
+    cta_size: int = 1
+
+    @property
+    def num_warps(self) -> int:
+        return len(self.warp_traces)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(len(t) for t in self.warp_traces)
+
+    def memory_footprint(self) -> set:
+        """All line addresses the kernel touches (test helper)."""
+        lines = set()
+        for warp_trace in self.warp_traces:
+            for instr in warp_trace:
+                lines.update(instr.addrs)
+        return lines
+
+    @property
+    def num_ctas(self) -> int:
+        return -(-self.num_warps // self.cta_size)
+
+    def validate(self) -> None:
+        """Sanity-check the kernel before launch."""
+        if not self.warp_traces:
+            raise ValueError(f"kernel {self.name!r} has no warps")
+        if self.cta_size < 1:
+            raise ValueError(f"kernel {self.name!r}: cta_size must be >= 1")
+        for i, warp_trace in enumerate(self.warp_traces):
+            if not warp_trace:
+                raise ValueError(f"kernel {self.name!r}: warp {i} is empty")
+        uses_barriers = any(instr.op == BARRIER
+                            for trace in self.warp_traces
+                            for instr in trace)
+        if uses_barriers and self.cta_size == 1 and self.num_warps > 1:
+            # a 1-warp CTA barrier is a no-op; almost certainly a
+            # forgotten cta_size
+            raise ValueError(
+                f"kernel {self.name!r} uses barriers but cta_size is 1"
+            )

@@ -1,0 +1,96 @@
+"""Kernel (de)serialization.
+
+Traces are the interchange format of the simulator — being able to
+save a kernel, ship it, and replay it bit-identically is what makes
+results reproducible outside this process.  The format is plain JSON:
+
+.. code-block:: json
+
+    {"name": "BFS",
+     "warps": [[["load", [3, 4]], ["compute", 5], ["fence"]], ...]}
+
+Compact opcode-first lists keep multi-megabyte traces readable and
+diff-able.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.trace.instr import (
+    ATOMIC,
+    BARRIER,
+    COMPUTE,
+    FENCE,
+    LOAD,
+    STORE,
+    Instr,
+    Kernel,
+)
+
+FORMAT_VERSION = 1
+
+
+def instr_to_obj(instr: Instr) -> list:
+    """One instruction as a JSON-ready list."""
+    if instr.op == COMPUTE:
+        return [COMPUTE, instr.cycles]
+    if instr.op in (FENCE, BARRIER):
+        return [instr.op]
+    return [instr.op, list(instr.addrs)]
+
+
+def instr_from_obj(obj: list) -> Instr:
+    """Parse one instruction, validating as it goes."""
+    if not isinstance(obj, list) or not obj:
+        raise ValueError(f"malformed instruction: {obj!r}")
+    op = obj[0]
+    if op in (FENCE, BARRIER):
+        return Instr(op)
+    if len(obj) != 2:
+        raise ValueError(f"malformed instruction: {obj!r}")
+    if op == COMPUTE:
+        return Instr(COMPUTE, cycles=int(obj[1]))
+    if op in (LOAD, STORE, ATOMIC):
+        return Instr(op, addrs=tuple(int(a) for a in obj[1]))
+    raise ValueError(f"unknown opcode in trace: {op!r}")
+
+
+def kernel_to_dict(kernel: Kernel) -> dict:
+    """A kernel as a JSON-ready dictionary."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": kernel.name,
+        "cta_size": kernel.cta_size,
+        "warps": [[instr_to_obj(instr) for instr in trace]
+                  for trace in kernel.warp_traces],
+    }
+
+
+def kernel_from_dict(data: dict) -> Kernel:
+    """Rebuild a kernel from :func:`kernel_to_dict` output."""
+    version = data.get("format", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version: {version}")
+    kernel = Kernel(
+        name=str(data["name"]),
+        warp_traces=[[instr_from_obj(obj) for obj in trace]
+                     for trace in data["warps"]],
+        cta_size=int(data.get("cta_size", 1)),
+    )
+    kernel.validate()
+    return kernel
+
+
+def save_kernel(kernel: Kernel, path: Union[str, Path]) -> None:
+    """Write a kernel to a JSON trace file."""
+    with open(path, "w") as handle:
+        json.dump(kernel_to_dict(kernel), handle)
+
+
+def load_kernel(path: Union[str, Path]) -> Kernel:
+    """Read a kernel from a JSON trace file."""
+    with open(path) as handle:
+        return kernel_from_dict(json.load(handle))

@@ -1,0 +1,31 @@
+"""Correctness validation: version tracking and coherence checkers."""
+
+from repro.validate.versions import (
+    AccessLog,
+    AtomicRecord,
+    LoadRecord,
+    StoreRecord,
+    VersionStore,
+)
+from repro.validate.checker import (
+    CoherenceViolation,
+    check_atomicity,
+    check_gtsc_log,
+    check_per_location_monotonic,
+    check_single_writer_logical,
+    check_warp_monotonicity,
+)
+
+__all__ = [
+    "AccessLog",
+    "AtomicRecord",
+    "LoadRecord",
+    "StoreRecord",
+    "VersionStore",
+    "CoherenceViolation",
+    "check_atomicity",
+    "check_gtsc_log",
+    "check_per_location_monotonic",
+    "check_single_writer_logical",
+    "check_warp_monotonicity",
+]

@@ -1,0 +1,233 @@
+"""Coherence and consistency checkers.
+
+Two kinds of checks are provided:
+
+* :func:`check_gtsc_log` — the *timestamp-ordering* invariant at the
+  heart of G-TSC (Section III-C): a load whose logical time is ``L``
+  must return the version ``V`` whose logical lifetime contains ``L``,
+  i.e. ``V.wts <= L`` and the next version ``V'`` (if any) has
+  ``V'.wts > L``.  This is checked for every recorded load, so a run
+  of thousands of operations yields thousands of verified obligations.
+
+* :func:`check_warp_monotonicity` — per-warp program order: the logical
+  timestamps of one warp's operations never decrease, which (together
+  with the value check) gives sequential consistency in logical time,
+  exactly Tardis's argument.
+
+Both checkers raise :class:`CoherenceViolation` with a precise account
+of the offending operation, which the protocol tests rely on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.validate.versions import AccessLog, VersionStore
+
+
+class CoherenceViolation(AssertionError):
+    """A recorded execution broke a coherence/consistency invariant."""
+
+
+def _version_windows(
+    store: VersionStore, addr: int
+) -> List[Tuple[int, int, int]]:
+    """Per-epoch sorted (wts, version) windows for one address.
+
+    Returns a list of ``(epoch, wts, version)`` sorted by
+    (epoch, wts, version).  Version numbers increase with wts within an
+    epoch because the L2 serializes stores to a line and assigns
+    strictly increasing timestamps.
+    """
+    windows = [(0, 0, 0)]
+    for version in range(1, store.versions_of(addr) + 1):
+        epoch, wts = store.wts_of(addr, version)
+        windows.append((epoch, wts, version))
+    windows.sort()
+    return windows
+
+
+def check_gtsc_log(log: AccessLog, store: VersionStore) -> int:
+    """Verify timestamp-ordering correctness of every recorded load.
+
+    Returns the number of loads checked.  Raises
+    :class:`CoherenceViolation` on the first violation.
+    """
+    windows_cache: Dict[int, List[Tuple[int, int, int]]] = {}
+    checked = 0
+    for record in log.loads:
+        windows = windows_cache.get(record.addr)
+        if windows is None:
+            windows = _version_windows(store, record.addr)
+            windows_cache[record.addr] = windows
+        # the version whose (epoch, wts) window contains the load's
+        # (epoch, logical_ts)
+        key = (record.epoch, record.logical_ts)
+        expected = 0
+        for epoch, wts, version in windows:
+            if (epoch, wts) <= key:
+                expected = version
+            else:
+                break
+        # Stores to the same line can be assigned equal-epoch timestamps
+        # only in increasing order, so `expected` is well defined.  A
+        # load may legitimately observe an *older* version than the
+        # globally newest as long as its own logical time falls inside
+        # that version's window — which is exactly the equality below.
+        if record.version != expected:
+            got_epoch, got_wts = store.wts_of(record.addr, record.version)
+            raise CoherenceViolation(
+                f"load by warp {record.warp_uid} of line {record.addr:#x} "
+                f"at logical time {record.logical_ts} (epoch "
+                f"{record.epoch}) returned version {record.version} "
+                f"(wts={got_wts}, epoch={got_epoch}) but timestamp order "
+                f"requires version {expected}; windows={windows}"
+            )
+        checked += 1
+    return checked
+
+
+def check_warp_monotonicity(log: AccessLog) -> int:
+    """Verify each warp's logical timestamps never decrease.
+
+    Operations are compared in completion order.  This is a
+    **sequential-consistency** invariant: under SC every memory
+    operation of a warp completes before the next issues, so logical
+    timestamps must follow program order.  Under RC a store's assigned
+    timestamp may legitimately fall below that of a younger load that
+    completed before the store's acknowledgment returned (the
+    reordering RC permits between fences), so this check only applies
+    to SC runs.  Returns the number of operations checked.
+    """
+    per_warp: Dict[int, List[Tuple[int, int, int]]] = defaultdict(list)
+    for record in log.loads:
+        per_warp[record.warp_uid].append(
+            (record.complete_cycle, record.epoch, record.logical_ts)
+        )
+    for record in log.stores:
+        per_warp[record.warp_uid].append(
+            (record.complete_cycle, record.epoch, record.logical_ts)
+        )
+    for record in log.atomics:
+        per_warp[record.warp_uid].append(
+            (record.complete_cycle, record.epoch, record.logical_ts)
+        )
+    checked = 0
+    for warp_uid, ops in per_warp.items():
+        ops.sort()
+        last = (0, 0)
+        for complete_cycle, epoch, logical_ts in ops:
+            if epoch > last[0]:
+                # timestamp reset: logical clock legitimately restarts
+                last = (epoch, logical_ts)
+                continue
+            if logical_ts < last[1]:
+                raise CoherenceViolation(
+                    f"warp {warp_uid} logical time went backwards: "
+                    f"{last[1]} -> {logical_ts} at cycle {complete_cycle}"
+                )
+            last = (epoch, logical_ts)
+            checked += 1
+    return checked
+
+
+def check_per_location_monotonic(log: AccessLog,
+                                 store: VersionStore) -> int:
+    """Per-location coherence (CoRR): one observer never sees a line's
+    writes out of their global order.
+
+    Valid for *every* coherent protocol: each reader's observed
+    versions of one address, taken in completion order, must be
+    non-decreasing in the line's recorded write order (which is mint
+    order only when nothing raced — version numbers themselves may
+    legitimately be performed out of numeric order).  Returns the
+    number of loads checked.
+    """
+    position_cache: Dict[int, Dict[int, int]] = {}
+
+    def position(addr: int, version: int) -> int:
+        table = position_cache.get(addr)
+        if table is None:
+            table = {0: -1}
+            for index, (_e, _w, v) in enumerate(store.write_order(addr)):
+                table[v] = index
+            position_cache[addr] = table
+        return table[version]
+
+    per_observer: Dict[Tuple[int, int], List[Tuple[int, int]]] = \
+        defaultdict(list)
+    for record in log.loads:
+        per_observer[(record.warp_uid, record.addr)].append(
+            (record.complete_cycle, record.version))
+    checked = 0
+    for (warp_uid, addr), observations in per_observer.items():
+        observations.sort()
+        last = -1
+        for cycle, version in observations:
+            index = position(addr, version)
+            if index < last:
+                raise CoherenceViolation(
+                    f"warp {warp_uid} saw line {addr:#x} go backwards "
+                    f"in the global write order (version {version} at "
+                    f"cycle {cycle} after a later write)"
+                )
+            last = index
+            checked += 1
+    return checked
+
+
+def check_atomicity(log: AccessLog, store: VersionStore) -> int:
+    """Verify every atomic read its immediate predecessor.
+
+    An atomic's observed old version must be exactly the write that
+    precedes its own new version in the line's global write order —
+    any intervening write would mean the read-modify-write was torn.
+    Returns the number of atomics checked.
+    """
+    order_cache: Dict[int, List[int]] = {}
+    checked = 0
+    for record in log.atomics:
+        order = order_cache.get(record.addr)
+        if order is None:
+            order = [version for _e, _w, version
+                     in store.write_order(record.addr)]
+            order_cache[record.addr] = order
+        index = order.index(record.new_version)
+        expected_old = order[index - 1] if index > 0 else 0
+        if record.old_version != expected_old:
+            raise CoherenceViolation(
+                f"atomic by warp {record.warp_uid} on line "
+                f"{record.addr:#x} read version {record.old_version} "
+                f"but wrote version {record.new_version}, whose "
+                f"predecessor in the global write order is "
+                f"{expected_old} — the RMW was torn"
+            )
+        checked += 1
+    return checked
+
+
+def check_single_writer_logical(log: AccessLog, store: VersionStore) -> int:
+    """Verify stores to one line get distinct, increasing timestamps.
+
+    The logical-time analogue of the single-writer invariant: in the
+    L2's processing order (the global write order for the line), write
+    timestamps must strictly increase within an epoch.  Version
+    *numbers* are minted at issue and may legitimately be processed
+    out of mint order when two SMs race — only the processing order
+    carries meaning.  Returns the number of stores checked.
+    """
+    checked = 0
+    addrs = {record.addr for record in log.stores}
+    for addr in addrs:
+        last: Dict[int, int] = {}
+        for epoch, wts, version in store.write_order(addr):
+            if epoch in last and wts <= last[epoch]:
+                raise CoherenceViolation(
+                    f"line {addr:#x}: version {version} got wts {wts} "
+                    f"<= preceding write's wts {last[epoch]} in epoch "
+                    f"{epoch} (L2 processing order)"
+                )
+            last[epoch] = wts
+            checked += 1
+    return checked

@@ -1,0 +1,85 @@
+"""The paper's twelve benchmarks as synthetic trace generators.
+
+Two groups, exactly as in Section VI-A:
+
+* **coherent** (BH, CC, DLP, VPR, STN, BFS) — require coherence for
+  correctness; the left cluster of every figure.
+* **independent** (CCP, GE, HS, KM, BP, SGM) — function without
+  coherence; used to measure protocol overhead.
+
+Use :func:`build_workload` to construct a kernel::
+
+    kernel = build_workload("BFS", scale=0.5, seed=7)
+
+``scale`` shrinks or grows every dimension of the workload (warps,
+iterations, footprints); ``seed`` makes the trace deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.trace.instr import Kernel
+from repro.workloads import coherent, independent
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Registry entry for one benchmark."""
+
+    name: str
+    requires_coherence: bool
+    description: str
+    builder: Callable[[random.Random, float], Kernel]
+
+
+_SPECS: List[WorkloadSpec] = [
+    WorkloadSpec("BH", True, "Barnes-Hut n-body tree traversal",
+                 coherent.barnes_hut),
+    WorkloadSpec("CC", True, "label-propagation connected components",
+                 coherent.connected_components),
+    WorkloadSpec("DLP", True, "task queues with work stealing",
+                 coherent.dynamic_load_balancing),
+    WorkloadSpec("VPR", True, "simulated-annealing placement",
+                 coherent.vpr),
+    WorkloadSpec("STN", True, "iterative stencil with halo exchange",
+                 coherent.stencil),
+    WorkloadSpec("BFS", True, "frontier breadth-first search",
+                 coherent.bfs),
+    WorkloadSpec("CCP", False, "cutoff Coulombic potential (compute-bound)",
+                 independent.cutcp),
+    WorkloadSpec("GE", False, "Gaussian elimination",
+                 independent.gaussian),
+    WorkloadSpec("HS", False, "hotspot thermal stencil (private tiles)",
+                 independent.hotspot),
+    WorkloadSpec("KM", False, "k-means clustering (memory-intensive)",
+                 independent.kmeans),
+    WorkloadSpec("BP", False, "back-propagation training",
+                 independent.backprop),
+    WorkloadSpec("SGM", False, "semi-global stereo matching",
+                 independent.sgm),
+]
+
+WORKLOADS: Dict[str, WorkloadSpec] = {spec.name: spec for spec in _SPECS}
+
+COHERENT_NAMES: List[str] = [s.name for s in _SPECS if s.requires_coherence]
+INDEPENDENT_NAMES: List[str] = [s.name for s in _SPECS
+                                if not s.requires_coherence]
+ALL_NAMES: List[str] = [s.name for s in _SPECS]
+
+
+def build_workload(name: str, scale: float = 1.0,
+                   seed: int = 2018) -> Kernel:
+    """Build benchmark ``name`` at the given scale, deterministically."""
+    try:
+        spec = WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    kernel = spec.builder(random.Random(seed), scale)
+    kernel.validate()
+    return kernel

@@ -1,0 +1,78 @@
+"""Building blocks for synthetic workload traces.
+
+The simulator only observes the coalesced memory-access stream, so a
+benchmark is characterised by: which line ranges it touches (private,
+read-shared, read-write-shared), with what pattern (streaming,
+power-law, stencil-neighbour), at what read/write mix, and how much
+compute separates memory instructions.  The helpers here express those
+ingredients; the benchmark modules combine them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous range of line addresses."""
+
+    base: int
+    lines: int
+
+    def line(self, index: int) -> int:
+        """The ``index``-th line of the region (wraps around)."""
+        return self.base + (index % self.lines)
+
+    def random_line(self, rng: random.Random) -> int:
+        return self.base + rng.randrange(self.lines)
+
+    def powerlaw_line(self, rng: random.Random, alpha: float = 1.3) -> int:
+        """A Zipf-flavoured pick: low indices are much hotter.
+
+        Models the hub-dominated access patterns of graph workloads
+        (BH tree roots, high-degree BFS vertices).
+        """
+        u = rng.random()
+        # inverse-CDF of a truncated Pareto over [0, lines)
+        index = int(self.lines * (u ** alpha))
+        return self.base + min(index, self.lines - 1)
+
+
+class AddressSpace:
+    """Hands out non-overlapping regions of the line-address space."""
+
+    def __init__(self, base: int = 0) -> None:
+        self._next = base
+
+    def region(self, lines: int) -> Region:
+        if lines <= 0:
+            raise ValueError("region must have at least one line")
+        region = Region(self._next, lines)
+        self._next += lines
+        return region
+
+
+def scaled(value: int, scale: float, minimum: int = 1) -> int:
+    """Scale a workload dimension, keeping it at least ``minimum``."""
+    return max(minimum, int(round(value * scale)))
+
+
+def interleave_compute(rng: random.Random, intensity: int) -> int:
+    """Cycles of compute between memory instructions.
+
+    ``intensity`` is the mean; the draw is uniform in [1, 2*mean-1] so
+    compute-bound benchmarks (CCP, HS) pick a large mean and
+    memory-bound ones a small one.
+    """
+    if intensity <= 1:
+        return 1
+    return rng.randrange(1, 2 * intensity)
+
+
+def coalesced_span(region: Region, start: int, width: int) -> List[int]:
+    """``width`` consecutive lines starting at ``start`` (a coalesced
+    multi-line access, e.g. a strided warp read)."""
+    return [region.line(start + k) for k in range(width)]

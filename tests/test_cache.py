@@ -1,0 +1,133 @@
+"""Unit tests for the set-associative cache array."""
+
+import pytest
+
+from repro.mem.cache import CacheArray, CacheLine
+
+
+def test_empty_cache_misses():
+    cache = CacheArray(num_sets=4, assoc=2)
+    assert cache.lookup(0) is None
+    assert cache.occupancy() == 0
+
+
+def test_allocate_then_hit():
+    cache = CacheArray(4, 2)
+    line, evicted = cache.allocate(12)
+    assert evicted is None
+    assert line.valid and line.addr == 12
+    assert cache.lookup(12) is line
+
+
+def test_allocate_existing_returns_same_line():
+    cache = CacheArray(4, 2)
+    first, _ = cache.allocate(5)
+    first.version = 7
+    again, evicted = cache.allocate(5)
+    assert again is first
+    assert evicted is None
+    assert again.version == 7  # existing state is preserved
+
+
+def test_set_mapping_isolates_addresses():
+    cache = CacheArray(4, 1)
+    cache.allocate(0)   # set 0
+    cache.allocate(1)   # set 1
+    assert cache.lookup(0) is not None
+    assert cache.lookup(1) is not None
+
+
+def test_conflict_evicts_lru():
+    cache = CacheArray(num_sets=1, assoc=2)
+    cache.allocate(10)
+    cache.allocate(20)
+    cache.lookup(10)               # 10 becomes MRU; 20 is LRU
+    line, evicted = cache.allocate(30)
+    assert evicted is not None and evicted.addr == 20
+    assert cache.lookup(20) is None
+    assert cache.lookup(10) is not None
+    assert line.addr == 30
+
+
+def test_eviction_snapshot_preserves_metadata():
+    cache = CacheArray(1, 1)
+    line, _ = cache.allocate(1)
+    line.version, line.dirty, line.wts, line.rts = 3, True, 9, 15
+    _, evicted = cache.allocate(2)
+    assert (evicted.addr, evicted.version, evicted.dirty) == (1, 3, True)
+    assert (evicted.wts, evicted.rts) == (9, 15)
+
+
+def test_pinned_lines_are_not_victimised():
+    cache = CacheArray(1, 2)
+    a, _ = cache.allocate(1)
+    b, _ = cache.allocate(2)
+    a.pending_stores = 1
+    line, evicted = cache.allocate(3,
+                                   evictable=lambda l: l.pending_stores == 0)
+    assert evicted.addr == 2
+    assert cache.lookup(1) is not None
+
+
+def test_all_ways_pinned_returns_none():
+    cache = CacheArray(1, 2)
+    a, _ = cache.allocate(1)
+    b, _ = cache.allocate(2)
+    a.pending_stores = b.pending_stores = 1
+    line, evicted = cache.allocate(3,
+                                   evictable=lambda l: l.pending_stores == 0)
+    assert line is None and evicted is None
+    # the pinned lines survive
+    assert cache.lookup(1) is not None and cache.lookup(2) is not None
+
+
+def test_invalidate():
+    cache = CacheArray(2, 2)
+    cache.allocate(4)
+    assert cache.invalidate(4) is True
+    assert cache.lookup(4) is None
+    assert cache.invalidate(4) is False
+
+
+def test_flush_drops_everything():
+    cache = CacheArray(2, 2)
+    for addr in range(4):
+        cache.allocate(addr)
+    assert cache.flush() == 4
+    assert cache.occupancy() == 0
+
+
+def test_lines_iterates_only_valid():
+    cache = CacheArray(2, 2)
+    cache.allocate(0)
+    cache.allocate(1)
+    cache.invalidate(0)
+    assert [l.addr for l in cache.lines()] == [1]
+
+
+def test_line_reset_clears_protocol_state():
+    line = CacheLine()
+    line.valid, line.wts, line.rts, line.expiry = True, 5, 9, 100
+    line.pending_stores, line.dirty, line.epoch = 2, True, 3
+    line.reset()
+    assert not line.valid
+    assert (line.wts, line.rts, line.expiry) == (0, 0, 0)
+    assert (line.pending_stores, line.dirty, line.epoch) == (0, False, 0)
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        CacheArray(0, 2)
+    with pytest.raises(ValueError):
+        CacheArray(2, 0)
+
+
+def test_lru_respects_touch_order_across_many_accesses():
+    cache = CacheArray(1, 4)
+    for addr in range(4):
+        cache.allocate(addr)
+    # touch 0..2, making 3 the LRU
+    for addr in (0, 1, 2):
+        cache.lookup(addr)
+    _, evicted = cache.allocate(99)
+    assert evicted.addr == 3

@@ -1,0 +1,70 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.harness.charts import render_chart
+from repro.harness.tables import ExperimentResult
+
+
+def sample_result():
+    return ExperimentResult(
+        "figX", "demo figure",
+        ["benchmark", "group", "A", "B"],
+        rows=[
+            ["BH", "coherent", 1.5, 0.8],
+            ["CC", "coherent", 2.0, 1.2],
+        ],
+    )
+
+
+def test_chart_contains_all_groups_and_series():
+    text = render_chart(sample_result())
+    for token in ("BH", "CC", "A", "B", "figX"):
+        assert token in text
+
+
+def test_chart_skips_non_numeric_columns():
+    text = render_chart(sample_result())
+    assert "coherent" not in text
+
+
+def test_bar_lengths_scale_with_values():
+    text = render_chart(sample_result(), width=40)
+    lines = [l for l in text.splitlines() if "#" in l]
+    # CC's A bar (2.0, the peak) is longer than BH's A bar (1.5)
+    bh = next(l for l in lines if l.lstrip().startswith("BH"))
+    cc = next(l for l in lines if l.lstrip().startswith("CC"))
+    assert cc.count("#") > bh.count("#")
+
+
+def test_unit_marker_when_values_straddle_one():
+    text = render_chart(sample_result())
+    assert "1.0" in text  # the legend mentions the baseline marker
+
+
+def test_no_unit_marker_when_all_above_one():
+    result = sample_result()
+    result.rows = [["BH", "coherent", 1.5, 1.2]]
+    text = render_chart(result)
+    assert "normalisation baseline" not in text
+
+
+def test_explicit_column_selection():
+    text = render_chart(sample_result(), columns=["A"])
+    assert "A" in text and " B " not in text
+
+
+def test_chart_rejects_all_text_results():
+    result = ExperimentResult("x", "t", ["name", "words"],
+                              rows=[["a", "hello"]])
+    with pytest.raises(ValueError):
+        render_chart(result)
+
+
+def test_chart_of_real_experiment():
+    from repro.harness.runner import ExperimentRunner
+    from repro.harness import experiments
+    runner = ExperimentRunner(preset="tiny", scale=0.1)
+    result = experiments.fig14(runner, leases=[8, 20])
+    text = render_chart(result)
+    assert "lease=8" in text and "lease=20" in text

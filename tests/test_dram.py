@@ -1,0 +1,71 @@
+"""Unit tests for the DRAM partition model."""
+
+import pytest
+
+from repro.mem.dram import DRAMPartition
+from repro.sim.engine import Engine
+from repro.stats.collector import StatsCollector
+
+
+def make_dram(latency=100, bandwidth=16, line=128):
+    engine = Engine()
+    stats = StatsCollector()
+    dram = DRAMPartition(engine, stats, latency, bandwidth, line)
+    return engine, stats, dram
+
+
+def test_single_read_latency():
+    engine, stats, dram = make_dram(latency=100, bandwidth=16, line=128)
+    done = []
+    dram.read(0, lambda: done.append(engine.now))
+    engine.run()
+    # 8 cycles transfer + 100 latency
+    assert done == [108]
+    assert stats.get("dram_reads") == 1
+
+
+def test_back_to_back_reads_serialize_on_bandwidth():
+    engine, stats, dram = make_dram(latency=100, bandwidth=16, line=128)
+    done = []
+    dram.read(0, lambda: done.append(engine.now))
+    dram.read(1, lambda: done.append(engine.now))
+    engine.run()
+    assert done == [108, 116]
+
+
+def test_write_consumes_bandwidth_only():
+    engine, stats, dram = make_dram(latency=100, bandwidth=16, line=128)
+    done = []
+    dram.write(5)
+    dram.read(0, lambda: done.append(engine.now))
+    engine.run()
+    # the write occupied the first 8 transfer cycles
+    assert done == [116]
+    assert stats.get("dram_writes") == 1
+
+
+def test_idle_gap_resets_service_point():
+    engine, stats, dram = make_dram(latency=10, bandwidth=128, line=128)
+    done = []
+    dram.read(0, lambda: done.append(engine.now))
+    engine.run()
+    assert engine.now == 11
+    engine.schedule(50, lambda: dram.read(
+        1, lambda: done.append(engine.now)))
+    engine.run()
+    # issued at cycle 61: one transfer cycle + 10 latency
+    assert done == [11, 72]
+
+
+def test_completion_order_matches_issue_order():
+    engine, stats, dram = make_dram()
+    done = []
+    for i in range(4):
+        dram.read(i, lambda i=i: done.append(i))
+    engine.run()
+    assert done == [0, 1, 2, 3]
+
+
+def test_bandwidth_must_be_positive():
+    with pytest.raises(ValueError):
+        DRAMPartition(Engine(), StatsCollector(), 10, 0, 128)

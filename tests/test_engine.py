@@ -1,0 +1,145 @@
+"""Unit tests for the event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0
+
+
+def test_schedule_and_run_in_time_order():
+    engine = Engine()
+    fired = []
+    engine.schedule(5, fired.append, "b")
+    engine.schedule(2, fired.append, "a")
+    engine.schedule(9, fired.append, "c")
+    engine.run()
+    assert fired == ["a", "b", "c"]
+    assert engine.now == 9
+
+
+def test_same_cycle_events_fire_in_scheduling_order():
+    engine = Engine()
+    fired = []
+    for tag in range(10):
+        engine.schedule(3, fired.append, tag)
+    engine.run()
+    assert fired == list(range(10))
+
+
+def test_zero_delay_fires_after_current_event():
+    engine = Engine()
+    order = []
+
+    def outer():
+        order.append("outer")
+        engine.schedule(0, lambda: order.append("inner"))
+
+    engine.schedule(1, outer)
+    engine.schedule(1, lambda: order.append("sibling"))
+    engine.run()
+    # the zero-delay event was scheduled later, so it fires last
+    assert order == ["outer", "sibling", "inner"]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Engine().schedule(-1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    engine = Engine()
+    fired = []
+    event = engine.schedule(4, fired.append, "x")
+    engine.schedule(1, fired.append, "y")
+    event.cancel()
+    engine.run()
+    assert fired == ["y"]
+
+
+def test_cancel_is_idempotent():
+    engine = Engine()
+    event = engine.schedule(1, lambda: None)
+    event.cancel()
+    event.cancel()
+    engine.run()
+
+
+def test_run_until_stops_before_later_events():
+    engine = Engine()
+    fired = []
+    engine.schedule(3, fired.append, "early")
+    engine.schedule(10, fired.append, "late")
+    engine.run(until=5)
+    assert fired == ["early"]
+    assert engine.now == 5
+    engine.run()
+    assert fired == ["early", "late"]
+
+
+def test_at_schedules_absolute_time():
+    engine = Engine()
+    times = []
+    engine.schedule(4, lambda: engine.at(7, lambda: times.append(engine.now)))
+    engine.run()
+    assert times == [7]
+
+
+def test_peek_skips_cancelled():
+    engine = Engine()
+    event = engine.schedule(2, lambda: None)
+    engine.schedule(5, lambda: None)
+    event.cancel()
+    assert engine.peek() == 5
+
+
+def test_step_returns_false_on_empty():
+    assert Engine().step() is False
+
+
+def test_max_events_guard():
+    engine = Engine()
+
+    def rearm():
+        engine.schedule(1, rearm)
+
+    engine.schedule(1, rearm)
+    with pytest.raises(RuntimeError, match="exceeded"):
+        engine.run(max_events=50)
+
+
+def test_events_nested_scheduling_keeps_clock_monotone():
+    engine = Engine()
+    seen = []
+
+    def at_time(t):
+        seen.append(engine.now)
+        if t < 5:
+            engine.schedule(1, at_time, t + 1)
+
+    engine.schedule(0, at_time, 0)
+    engine.run()
+    assert seen == sorted(seen)
+
+
+def test_pending_counts_live_events():
+    engine = Engine()
+    keep = engine.schedule(1, lambda: None)
+    drop = engine.schedule(2, lambda: None)
+    drop.cancel()
+    assert engine.pending() == 1
+    assert keep.time == 1
+
+
+def test_determinism_of_interleaved_schedules():
+    def build():
+        engine = Engine()
+        log = []
+        for i in range(20):
+            engine.schedule(i % 4, log.append, i)
+        engine.run()
+        return log
+
+    assert build() == build()

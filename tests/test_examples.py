@@ -1,0 +1,73 @@
+"""Smoke tests: every example script must run and produce its story.
+
+Run as subprocesses so the examples are exercised exactly as a user
+would run them (fresh interpreter, argv handling, exit codes).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=180):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    scripts = list(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 3
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "cycles:" in out
+    assert "consistent with timestamp order" in out
+
+
+def test_protocol_shootout():
+    out = run_example("protocol_shootout.py", "STN", "0.3")
+    assert "G-TSC-RC" in out
+    assert "baseline" in out
+
+
+def test_litmus_tests():
+    out = run_example("litmus_tests.py")
+    assert "message passing" in out
+    assert "store buffering" in out
+
+
+def test_lease_sweep():
+    out = run_example("lease_sweep.py", "DLP", "0.3")
+    assert "logical lease sweep" in out
+    assert "physical lease sweep" in out
+
+
+def test_timestamp_inspector():
+    out = run_example("timestamp_inspector.py")
+    assert "global memory order" in out
+    assert "LD X" in out and "ST Y" in out
+
+
+def test_fuzz_coherence():
+    out = run_example("fuzz_coherence.py", "6")
+    assert "no violations" in out
+
+
+def test_iterative_solver():
+    out = run_example("iterative_solver.py", "3")
+    assert "timestamp epochs consumed: 3" in out
+
+
+def test_cta_reduction():
+    out = run_example("cta_reduction.py")
+    assert "barrier releases" in out
+    assert "consistent with timestamp order" in out

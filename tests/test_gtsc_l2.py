@@ -1,0 +1,175 @@
+"""Controller-level tests for the G-TSC L2 bank (Figures 4, 5, 6)."""
+
+from repro.config import GPUConfig, Protocol
+from repro.core.messages import BusFill, BusRd, BusRnw, BusWr, BusWrAck
+from repro.gpu.machine import Machine
+from repro.protocols.factory import build_protocol
+
+
+def make_machine(**overrides):
+    config = GPUConfig.tiny(protocol=Protocol.GTSC, **overrides)
+    machine = Machine(config)
+    build_protocol(machine)
+    return machine
+
+
+class CaptureL1:
+    """Stands in for an L1 to capture the bank's responses."""
+
+    def __init__(self):
+        self.messages = []
+
+    def receive(self, msg):
+        self.messages.append(msg)
+
+
+def drive(machine, msg):
+    """Inject a request at the bank and run to quiescence."""
+    bank = machine.l2_banks[machine.config.bank_of(msg.addr)]
+    bank.receive(msg)
+    machine.engine.run()
+
+
+def capture(machine):
+    cap = CaptureL1()
+    machine.l1s[0] = cap
+    return cap
+
+
+def test_miss_fetches_from_dram_with_mem_ts_lease():
+    machine = make_machine()
+    cap = capture(machine)
+    drive(machine, BusRd(0, 0, wts=0, warp_ts=1, epoch=0))
+    assert machine.stats.get("dram_reads") == 1
+    (msg,) = cap.messages
+    assert isinstance(msg, BusFill)
+    assert msg.wts == 1                          # mem_ts
+    assert msg.rts >= 1 + machine.config.lease
+    assert msg.version == 0                      # initial memory
+
+
+def test_matching_wts_gets_renewal_without_data():
+    machine = make_machine()
+    cap = capture(machine)
+    drive(machine, BusRd(0, 0, wts=0, warp_ts=1, epoch=0))
+    fill = cap.messages[-1]
+    drive(machine, BusRd(0, 0, wts=fill.wts, warp_ts=30, epoch=0))
+    renewal = cap.messages[-1]
+    assert isinstance(renewal, BusRnw)
+    assert renewal.rts >= 30 + machine.config.lease
+    # a renewal is much smaller than a fill (no data payload)
+    assert renewal.size(machine.config) < fill.size(machine.config)
+
+
+def test_mismatched_wts_gets_full_fill():
+    machine = make_machine()
+    cap = capture(machine)
+    drive(machine, BusRd(0, 0, wts=0, warp_ts=1, epoch=0))
+    # pretend the requester holds a stale version (wts that no longer
+    # matches after a store)
+    drive(machine, BusWr(0, 0, warp_ts=1, version=1, epoch=0))
+    drive(machine, BusRd(0, 0, wts=1, warp_ts=1, epoch=0))
+    response = cap.messages[-1]
+    assert isinstance(response, BusFill)
+    assert response.version == 1
+
+
+def test_write_is_scheduled_after_outstanding_leases():
+    """Figure 5: wts = max(rts + 1, warp_ts); no waiting, ever."""
+    machine = make_machine()
+    cap = capture(machine)
+    drive(machine, BusRd(0, 0, wts=0, warp_ts=40, epoch=0))
+    granted_rts = cap.messages[-1].rts
+    start = machine.engine.now
+    drive(machine, BusWr(0, 0, warp_ts=2, version=1, epoch=0))
+    ack = cap.messages[-1]
+    assert isinstance(ack, BusWrAck)
+    assert ack.wts == granted_rts + 1
+    assert ack.rts == ack.wts + machine.config.lease
+    # the write completed in NoC+service time — no lease stall
+    assert machine.engine.now - start < machine.config.tc_lease
+
+
+def test_write_with_large_warp_ts_uses_warp_ts():
+    machine = make_machine()
+    cap = capture(machine)
+    drive(machine, BusRd(0, 0, wts=0, warp_ts=1, epoch=0))
+    drive(machine, BusWr(0, 0, warp_ts=200, version=1, epoch=0))
+    assert cap.messages[-1].wts == 200
+
+
+def test_consecutive_writes_get_increasing_timestamps():
+    machine = make_machine()
+    cap = capture(machine)
+    drive(machine, BusWr(0, 0, warp_ts=1, version=1, epoch=0))
+    first = cap.messages[-1].wts
+    drive(machine, BusWr(0, 0, warp_ts=1, version=2, epoch=0))
+    second = cap.messages[-1].wts
+    assert second > first
+
+
+def test_write_records_version_timestamp_for_validation():
+    machine = make_machine()
+    capture(machine)
+    drive(machine, BusWr(0, 0, warp_ts=5, version=1, epoch=0))
+    epoch, wts = machine.versions.wts_of(0, 1)
+    assert epoch == 0 and wts >= 5
+
+
+def test_write_miss_fetches_line_first():
+    machine = make_machine()
+    cap = capture(machine)
+    drive(machine, BusWr(0, 0, warp_ts=1, version=1, epoch=0))
+    assert machine.stats.get("dram_reads") == 1
+    assert isinstance(cap.messages[-1], BusWrAck)
+
+
+def test_eviction_folds_rts_into_mem_ts():
+    machine = make_machine()
+    cap = capture(machine)
+    bank = machine.l2_banks[0]
+    sets, assoc = machine.config.l2_sets, machine.config.l2_assoc
+    # fill one set beyond capacity: same set index, one bank
+    stride = sets * machine.config.num_l2_banks
+    addrs = [k * stride for k in range(assoc + 1)]
+    big_ts = 90
+    drive(machine, BusRd(addrs[0], 0, wts=0, warp_ts=big_ts, epoch=0))
+    victim_rts = cap.messages[-1].rts
+    for addr in addrs[1:]:
+        drive(machine, BusRd(addr, 0, wts=0, warp_ts=1, epoch=0))
+    assert machine.stats.get("l2_evictions") >= 1
+    assert bank.mem_ts >= victim_rts
+    # a refetch of the evicted line starts at mem_ts
+    drive(machine, BusRd(addrs[0], 0, wts=0, warp_ts=1, epoch=0))
+    refill = cap.messages[-1]
+    assert refill.wts >= victim_rts
+
+
+def test_dirty_eviction_writes_back_to_memory_image():
+    machine = make_machine()
+    capture(machine)
+    sets = machine.config.l2_sets
+    stride = sets * machine.config.num_l2_banks
+    assoc = machine.config.l2_assoc
+    drive(machine, BusWr(0, 0, warp_ts=1, version=1, epoch=0))
+    for k in range(1, assoc + 1):
+        drive(machine, BusRd(k * stride, 0, wts=0, warp_ts=1, epoch=0))
+    assert machine.memory_image.get(0) == 1
+    assert machine.stats.get("dram_writes") == 1
+    # the refetched line carries the written-back version
+    cap = machine.l1s[0]
+    drive(machine, BusRd(0, 0, wts=0, warp_ts=1, epoch=0))
+    assert cap.messages[-1].version == 1
+
+
+def test_non_inclusive_l2_always_finds_a_victim():
+    """Section V-C: G-TSC never pins L2 lines, unlike TC."""
+    machine = make_machine()
+    capture(machine)
+    sets = machine.config.l2_sets
+    stride = sets * machine.config.num_l2_banks
+    # far more lines than one set holds, all with huge outstanding
+    # leases — every fill must still succeed immediately
+    for k in range(3 * machine.config.l2_assoc):
+        drive(machine, BusRd(k * stride, 0, wts=0, warp_ts=1000, epoch=0))
+    assert machine.stats.get("l2_evict_stall") == 0

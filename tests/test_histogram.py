@@ -1,0 +1,105 @@
+"""Tests for the latency histogram machinery."""
+
+import pytest
+
+from repro.config import Consistency, GPUConfig, Protocol
+from repro.stats.histogram import Histogram, HistogramSet
+
+from tests.conftest import random_kernel, run_gpu
+
+
+def test_bucket_of():
+    assert Histogram.bucket_of(0) == 0
+    assert Histogram.bucket_of(1) == 1
+    assert Histogram.bucket_of(2) == 2
+    assert Histogram.bucket_of(3) == 2
+    assert Histogram.bucket_of(4) == 3
+    assert Histogram.bucket_of(1023) == 10
+
+
+def test_bucket_range_roundtrip():
+    for value in (0, 1, 2, 5, 17, 100, 9999):
+        low, high = Histogram.bucket_range(Histogram.bucket_of(value))
+        assert low <= value <= high
+
+
+def test_negative_values_rejected():
+    with pytest.raises(ValueError):
+        Histogram("x").add(-1)
+
+
+def test_mean_and_max():
+    histogram = Histogram("lat")
+    for value in (10, 20, 30):
+        histogram.add(value)
+    assert histogram.mean == pytest.approx(20.0)
+    assert histogram.max_value == 30
+    assert histogram.count == 3
+
+
+def test_weighted_add():
+    histogram = Histogram("lat")
+    histogram.add(8, count=5)
+    assert histogram.count == 5
+    assert histogram.total == 40
+
+
+def test_percentile_bounds():
+    histogram = Histogram("lat")
+    for _ in range(99):
+        histogram.add(4)
+    histogram.add(1000)
+    assert histogram.percentile(0.5) >= 4
+    assert histogram.percentile(1.0) >= 1000
+    with pytest.raises(ValueError):
+        histogram.percentile(0.0)
+
+
+def test_empty_histogram():
+    histogram = Histogram("lat")
+    assert histogram.mean == 0.0
+    assert histogram.percentile(0.9) == 0
+    assert "empty" in histogram.render()
+
+
+def test_render_contains_buckets():
+    histogram = Histogram("lat")
+    histogram.add(3)
+    histogram.add(100)
+    text = histogram.render()
+    assert "2-3" in text
+    assert "#" in text
+
+
+def test_histogram_set_lazily_creates():
+    hists = HistogramSet()
+    assert "x" not in hists
+    hists.add("x", 5)
+    assert "x" in hists
+    assert hists.get("x").count == 1
+    assert hists.names() == ["x"]
+
+
+def test_runs_expose_latency_histograms():
+    config = GPUConfig.tiny(protocol=Protocol.GTSC,
+                            consistency=Consistency.RC)
+    _, stats = run_gpu(config, random_kernel(1, warps=4, length=40))
+    loads = stats.histogram("load_latency")
+    stores = stats.histogram("store_latency")
+    assert loads.count > 0 and stores.count > 0
+    assert loads.mean > 0
+
+
+def test_tc_strong_store_latency_tail_exceeds_gtsc():
+    """TC-Strong's lease waits show up as a store-latency tail that
+    G-TSC simply does not have."""
+    kernel = random_kernel(2, warps=4, length=40, lines=4)
+    config_g = GPUConfig.tiny(protocol=Protocol.GTSC,
+                              consistency=Consistency.SC)
+    config_t = GPUConfig.tiny(protocol=Protocol.TC,
+                              consistency=Consistency.SC)
+    _, gtsc = run_gpu(config_g, kernel)
+    _, tc = run_gpu(config_t, kernel)
+    g_tail = gtsc.histogram("store_latency").percentile(0.95)
+    t_tail = tc.histogram("store_latency").percentile(0.95)
+    assert t_tail > g_tail

@@ -1,0 +1,79 @@
+"""Unit tests for instruction and kernel records."""
+
+import pytest
+
+from repro.trace.instr import (
+    COMPUTE,
+    FENCE,
+    LOAD,
+    STORE,
+    Instr,
+    Kernel,
+    compute,
+    fence,
+    load,
+    store,
+)
+
+
+def test_constructors_set_opcodes():
+    assert load(1).op == LOAD
+    assert store(2).op == STORE
+    assert fence().op == FENCE
+    assert compute(3).op == COMPUTE
+
+
+def test_load_carries_multiple_coalesced_addresses():
+    instr = load(4, 5, 6)
+    assert instr.addrs == (4, 5, 6)
+    assert instr.is_memory
+
+
+def test_fence_and_compute_are_not_memory():
+    assert not fence().is_memory
+    assert not compute(1).is_memory
+
+
+def test_memory_instr_requires_addresses():
+    with pytest.raises(ValueError):
+        Instr(LOAD)
+    with pytest.raises(ValueError):
+        Instr(STORE)
+
+
+def test_compute_requires_positive_cycles():
+    with pytest.raises(ValueError):
+        compute(0)
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(ValueError):
+        Instr("jump")
+
+
+def test_instr_is_immutable():
+    instr = load(1)
+    with pytest.raises(Exception):
+        instr.op = STORE
+
+
+def test_kernel_counts():
+    kernel = Kernel("k", [[load(0), store(1)], [compute(2)]])
+    assert kernel.num_warps == 2
+    assert kernel.total_instructions == 3
+
+
+def test_kernel_footprint():
+    kernel = Kernel("k", [[load(0, 3), store(3)], [load(7)]])
+    assert kernel.memory_footprint() == {0, 3, 7}
+
+
+def test_kernel_validate_rejects_empty():
+    with pytest.raises(ValueError):
+        Kernel("k", []).validate()
+    with pytest.raises(ValueError):
+        Kernel("k", [[load(0)], []]).validate()
+
+
+def test_kernel_validate_accepts_wellformed():
+    Kernel("k", [[load(0)], [fence()]]).validate()

@@ -1,0 +1,136 @@
+"""Integration tests asserting the paper's qualitative results.
+
+These encode the *shape* targets from DESIGN.md: who wins, in which
+direction, on which benchmark group.  They run the real experiment
+harness at reduced scale, so they double as end-to-end coverage of the
+figure pipeline.
+"""
+
+import pytest
+
+from repro.config import Consistency, Protocol
+from repro.harness.runner import ExperimentRunner
+from repro.harness import experiments as exp
+from repro.harness.tables import geomean
+from repro.workloads import COHERENT_NAMES, INDEPENDENT_NAMES
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(preset="small", scale=0.4, seed=2018)
+
+
+@pytest.fixture(scope="module")
+def fig12(runner):
+    return exp.fig12(runner)
+
+
+def test_gtsc_rc_beats_tc_rc_on_coherent_set(fig12):
+    """The abstract's headline: G-TSC outperforms TC under RC."""
+    gain = fig12.summary["G-TSC-RC over TC-RC (coherent, geomean)"]
+    assert gain > 1.15, f"G-TSC-RC should clearly beat TC-RC, got {gain}"
+
+
+def test_gtsc_sc_beats_tc_rc_on_coherent_set(fig12):
+    """Even G-TSC under SC outperforms TC under RC (paper: +26%)."""
+    gain = fig12.summary["G-TSC-SC over TC-RC (coherent, geomean)"]
+    assert gain > 1.05
+
+
+def test_gtsc_beats_tc_per_benchmark_at_matched_consistency(fig12):
+    for name in COHERENT_NAMES:
+        row = fig12.row(name)
+        headers = fig12.headers
+        tc_rc = row[headers.index("TC-RC")]
+        g_rc = row[headers.index("G-TSC-RC")]
+        tc_sc = row[headers.index("TC-SC")]
+        g_sc = row[headers.index("G-TSC-SC")]
+        assert g_rc >= tc_rc * 0.97, f"{name}: G-TSC-RC lost to TC-RC"
+        assert g_sc >= tc_sc * 0.97, f"{name}: G-TSC-SC lost to TC-SC"
+
+
+def test_sc_rc_gap_much_smaller_under_gtsc(fig12):
+    """G-TSC barely stalls, so SC costs it little; TC's gap is large."""
+    headers = fig12.headers
+    tc_gaps, gtsc_gaps = [], []
+    for name in COHERENT_NAMES:
+        row = fig12.row(name)
+        tc_gaps.append(row[headers.index("TC-RC")]
+                       / row[headers.index("TC-SC")])
+        gtsc_gaps.append(row[headers.index("G-TSC-RC")]
+                         / row[headers.index("G-TSC-SC")])
+    assert geomean(gtsc_gaps) < geomean(tc_gaps)
+
+
+def test_compute_bound_benchmarks_are_protocol_insensitive(fig12):
+    """CCP/HS/KM hide memory stalls behind compute (paper §VI-B)."""
+    headers = fig12.headers
+    for name in ("CCP", "KM"):
+        row = fig12.row(name)
+        bars = [row[headers.index(bar)]
+                for bar in ("TC-SC", "TC-RC", "G-TSC-SC", "G-TSC-RC")]
+        assert max(bars) / min(bars) < 1.15, f"{name} too sensitive"
+
+
+def test_gtsc_overhead_vs_noncoherent_l1_is_moderate(fig12):
+    """Paper: ~11% overhead vs the non-coherent GPU (second group)."""
+    overhead = fig12.summary["G-TSC-RC overhead vs W/L1 (no-coh, geomean)"]
+    assert overhead < 1.35
+
+
+def test_gtsc_reduces_traffic_vs_tc(runner):
+    result = exp.fig15(runner)
+    reduction = result.summary[
+        "G-TSC-RC traffic reduction vs TC-RC (coherent)"]
+    assert reduction > 0.10, f"expected >10% traffic cut, got {reduction}"
+
+
+def test_gtsc_stalls_less_than_tc(runner):
+    result = exp.fig13(runner)
+    ratio = result.summary[
+        "TC-RC stalls / G-TSC-RC stalls (coherent, geomean)"]
+    assert ratio > 1.2
+
+
+def test_gtsc_lease_insensitive_in_paper_range(runner):
+    """Fig. 14: flat across leases 8-20 (logical time has no physical
+    meaning, so behaviour is lease-scale-invariant)."""
+    result = exp.fig14(runner)
+    assert result.summary["max relative spread across leases"] < 0.05
+
+
+def test_tc_is_lease_sensitive(runner):
+    """The §II-D3 contrast: a bad physical lease costs TC real time."""
+    result = exp.ablation_tc_lease(runner, leases=[25, 100, 600],
+                                   workloads=["DLP", "STN"])
+    assert result.summary["max TC slowdown from a bad lease"] > 0.05
+
+
+def test_gtsc_saves_energy_vs_tc(runner):
+    result = exp.fig16(runner)
+    saving = result.summary["G-TSC-RC energy saving vs TC-RC (coherent)"]
+    assert saving > 0.0
+
+
+def test_expiration_misses_drop_for_read_mostly(runner):
+    result = exp.expiration(runner)
+    assert result.summary["mean reduction, read-mostly (BH/VPR/BFS)"] > 0.2
+
+
+def test_visibility_options_perform_similarly(runner):
+    """§V-A: option 1 (delay) is essentially free — the basis of the
+    paper's decision not to pay for old-copy hardware."""
+    result = exp.ablation_visibility(runner)
+    assert 0.9 < result.summary["geomean old_copy/delay"] < 1.1
+
+
+def test_forward_all_increases_request_count(runner):
+    """§V-B: forwarding all requests raises traffic (paper: 12-35%)."""
+    result = exp.ablation_combining(runner)
+    assert result.summary["mean request increase with forward-all"] > 0.02
+
+
+def test_headline_directions(runner):
+    result = exp.headline(runner)
+    for _claim, _paper, reproduced in result.rows:
+        assert reproduced > 0, "every headline claim must hold in sign"

@@ -1,0 +1,139 @@
+"""Consistency litmus tests across protocols and memory models.
+
+Each shape runs across many random timing seeds; forbidden outcomes
+must never appear.
+"""
+
+import random
+
+import pytest
+
+from repro.config import Consistency, GPUConfig, Protocol
+from repro.gpu.gpu import GPU
+from repro.workloads.litmus import (
+    X_LINE,
+    message_passing,
+    mp_outcomes,
+    observed_versions,
+    single_location,
+    store_buffering,
+)
+
+SEEDS = range(8)
+
+COHERENT_CONFIGS = [
+    (Protocol.GTSC, Consistency.SC),
+    (Protocol.GTSC, Consistency.RC),
+    (Protocol.TC, Consistency.SC),
+    (Protocol.TC, Consistency.RC),
+    (Protocol.DISABLED, Consistency.SC),
+    (Protocol.DISABLED, Consistency.RC),
+]
+
+
+def run_litmus(kernel, protocol, consistency):
+    config = GPUConfig.tiny(protocol=protocol, consistency=consistency)
+    gpu = GPU(config)
+    gpu.run(kernel)
+    return gpu.machine.log
+
+
+@pytest.mark.parametrize("protocol,consistency", COHERENT_CONFIGS)
+def test_message_passing_with_fences_never_reads_stale_data(
+        protocol, consistency):
+    """If the reader saw the flag (version 1), the fence-ordered data
+    write must be visible too — in every coherent configuration."""
+    for seed in SEEDS:
+        kernel = message_passing(random.Random(seed), with_fences=True)
+        log = run_litmus(kernel, protocol, consistency)
+        for flag_version, data_version in mp_outcomes(log):
+            if flag_version >= 1:
+                assert data_version >= 1, (
+                    f"{protocol}/{consistency} seed {seed}: saw flag "
+                    f"but stale data"
+                )
+
+
+@pytest.mark.parametrize("protocol", [Protocol.GTSC, Protocol.TC])
+def test_message_passing_under_sc_needs_no_fences(protocol):
+    """SC orders the two stores by itself (one outstanding op/warp)."""
+    for seed in SEEDS:
+        kernel = message_passing(random.Random(seed), with_fences=False)
+        log = run_litmus(kernel, protocol, Consistency.SC)
+        for flag_version, data_version in mp_outcomes(log):
+            if flag_version >= 1:
+                assert data_version >= 1
+
+
+def test_message_passing_observes_the_handoff_at_least_once():
+    """Sanity: the polling reader eventually sees flag=1 (otherwise
+    the stale-data assertions above would be vacuous)."""
+    hits = 0
+    for seed in SEEDS:
+        kernel = message_passing(random.Random(seed), with_fences=True)
+        log = run_litmus(kernel, Protocol.GTSC, Consistency.RC)
+        hits += sum(1 for f, _ in mp_outcomes(log) if f >= 1)
+    assert hits > 0
+
+
+@pytest.mark.parametrize("protocol,consistency", [
+    (Protocol.GTSC, Consistency.SC),
+    (Protocol.TC, Consistency.SC),
+    (Protocol.DISABLED, Consistency.SC),
+])
+def test_store_buffering_forbidden_outcome_under_sc(protocol, consistency):
+    """SC forbids both warps reading 0 (each misses the other's store)."""
+    for seed in SEEDS:
+        kernel = store_buffering(random.Random(seed))
+        log = run_litmus(kernel, protocol, consistency)
+        r0 = observed_versions(log, warp_uid=0, addr=10)  # w0 reads Y
+        r1 = observed_versions(log, warp_uid=1, addr=X_LINE)
+        assert r0 and r1
+        both_zero = r0[0] == 0 and r1[0] == 0
+        assert not both_zero, f"{protocol} seed {seed}: SB violation"
+
+
+@pytest.mark.parametrize("protocol,consistency", COHERENT_CONFIGS)
+def test_single_location_never_goes_backwards(protocol, consistency):
+    """Per-location coherence: each reader's observations follow the
+    line's global write order in every coherent configuration."""
+    from repro.config import GPUConfig
+    from repro.gpu.gpu import GPU
+    from repro.validate.checker import check_per_location_monotonic
+    for seed in SEEDS:
+        kernel = single_location(random.Random(seed))
+        config = GPUConfig.tiny(protocol=protocol,
+                                consistency=consistency)
+        gpu = GPU(config)
+        gpu.run(kernel)
+        checked = check_per_location_monotonic(gpu.machine.log,
+                                               gpu.machine.versions)
+        assert checked == len(gpu.machine.log.loads)
+
+
+def test_noncoherent_l1_breaks_message_passing():
+    """Negative control: the non-coherent baseline must exhibit
+    staleness the real protocols forbid — this is why it cannot run
+    the first benchmark group.
+
+    With a non-coherent L1 the reader caches the flag's initial value
+    on its first poll and never observes the writer's store, no matter
+    how long it polls (or, if timing races the other way, reads stale
+    data).  Either form is a coherence failure.
+    """
+    stale_seen = False
+    for seed in range(16):
+        kernel = message_passing(random.Random(seed), with_fences=True)
+        log = run_litmus(kernel, Protocol.NONCOHERENT, Consistency.RC)
+        pairs = mp_outcomes(log)
+        flag_store = max((s.complete_cycle for s in log.stores
+                          if s.addr == 10), default=None)
+        last_poll = max(r.complete_cycle for r in log.loads
+                        if r.warp_uid == 1 and r.addr == 10)
+        for flag_version, data_version in pairs:
+            if flag_version >= 1 and data_version == 0:
+                stale_seen = True  # classic MP violation
+        if (flag_store is not None and last_poll > flag_store
+                and all(f == 0 for f, _ in pairs)):
+            stale_seen = True      # flag itself stayed stale forever
+    assert stale_seen

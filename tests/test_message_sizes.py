@@ -1,0 +1,95 @@
+"""Exact on-wire sizes for every message type (Table I).
+
+Traffic results (Fig. 15) are only as faithful as the message sizing,
+so the byte counts are pinned here against hand-computed values for
+the default geometry (8-byte header, 2-byte G-TSC timestamps, 4-byte
+TC times, 128-byte lines).
+"""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.messages import (
+    BusAtm,
+    BusAtmAck,
+    BusFill,
+    BusInv,
+    BusRd,
+    BusRnw,
+    BusWr,
+    BusWrAck,
+)
+from repro.protocols.mesi import (
+    DataM,
+    DataS,
+    GetM,
+    GetS,
+    Inv,
+    InvAck,
+    PutM,
+)
+from repro.protocols.plain import MemAck, MemFill, MemRd, MemWr
+from repro.protocols.tc import TCAtm, TCAtmAck, TCFill, TCRd, TCWr, TCWrAck
+
+CONFIG = GPUConfig()  # header 8, ts 2, tc-ts 4, line 128
+
+
+@pytest.mark.parametrize("msg,size", [
+    # G-TSC (Table I): hdr + fields
+    (BusRd(0, 0, wts=1, warp_ts=2, epoch=0), 8 + 2 + 2),
+    (BusWr(0, 0, warp_ts=2, version=1, epoch=0), 8 + 2 + 128),
+    (BusFill(0, 0, wts=1, rts=9, version=1, epoch=0), 8 + 4 + 128),
+    (BusRnw(0, 0, rts=9, epoch=0), 8 + 2),
+    (BusWrAck(0, 0, wts=1, rts=9, epoch=0), 8 + 4),
+    (BusAtm(0, 0, warp_ts=2, version=1, epoch=0), 8 + 2 + 8),
+    (BusAtmAck(0, 0, wts=1, rts=9, old_version=0, epoch=0), 8 + 4 + 8),
+    (BusInv(0, 0), 8),
+    # TC: 32-bit physical times
+    (TCRd(0, 0), 8),
+    (TCWr(0, 0, version=1), 8 + 128),
+    (TCFill(0, 0, version=1, expiry=99), 8 + 4 + 128),
+    (TCWrAck(0, 0, gwct=99), 8 + 4),
+    (TCAtm(0, 0, version=1), 8 + 8),
+    (TCAtmAck(0, 0, old_version=0, gwct=99), 8 + 4 + 8),
+    # plain baselines
+    (MemRd(0, 0), 8),
+    (MemWr(0, 0, version=1), 8 + 128),
+    (MemFill(0, 0, version=1), 8 + 128),
+    (MemAck(0, 0), 8),
+    # MSI directory
+    (GetS(0, 0), 8),
+    (GetM(0, 0), 8),
+    (PutM(0, 0, version=1), 8 + 128),
+    (DataS(0, 0, version=1), 8 + 128),
+    (DataM(0, 0, version=1), 8 + 128),
+    (Inv(0, 0), 8),
+    (InvAck(0, 0), 8),
+    (InvAck(0, 0, version=1, had_data=True), 8 + 128),
+])
+def test_message_size(msg, size):
+    assert msg.size(CONFIG) == size
+
+
+def test_renewal_beats_fill_by_the_line_size():
+    """The core Table-I asymmetry that powers Figure 15."""
+    fill = BusFill(0, 0, wts=1, rts=9, version=1, epoch=0)
+    renewal = BusRnw(0, 0, rts=9, epoch=0)
+    assert fill.size(CONFIG) - renewal.size(CONFIG) \
+        == CONFIG.line_size + CONFIG.timestamp_bytes
+
+
+def test_gtsc_timestamps_are_half_of_tcs():
+    """Section V-D: 16-bit logical vs 32-bit physical timestamps."""
+    gtsc_ack = BusWrAck(0, 0, wts=1, rts=9, epoch=0)
+    tc_ack = TCWrAck(0, 0, gwct=99)
+    # G-TSC carries two 2-byte stamps; TC one 4-byte stamp
+    assert gtsc_ack.size(CONFIG) == tc_ack.size(CONFIG)
+    assert CONFIG.timestamp_bytes * 2 == CONFIG.tc_timestamp_bytes
+
+
+def test_message_kinds_for_traffic_classes():
+    assert BusRnw(0, 0, rts=1, epoch=0).kind == "ctrl"
+    assert BusFill(0, 0, wts=1, rts=2, version=0, epoch=0).kind == "data"
+    assert TCFill(0, 0, version=0, expiry=1).kind == "data"
+    assert InvAck(0, 0).kind == "ctrl"
+    assert InvAck(0, 0, version=1, had_data=True).kind == "data"

@@ -1,0 +1,92 @@
+"""Unit tests for the MSHR table."""
+
+import pytest
+
+from repro.mem.mshr import MSHRFullError, MSHRTable
+
+
+def test_allocate_creates_entry():
+    table = MSHRTable(4)
+    entry = table.allocate(10)
+    assert entry.addr == 10
+    assert not entry.issued
+    assert 10 in table
+    assert len(table) == 1
+
+
+def test_allocate_existing_combines():
+    table = MSHRTable(4)
+    first = table.allocate(10)
+    second = table.allocate(10)
+    assert first is second
+    assert len(table) == 1
+
+
+def test_full_table_raises():
+    table = MSHRTable(2)
+    table.allocate(1)
+    table.allocate(2)
+    assert table.full
+    with pytest.raises(MSHRFullError):
+        table.allocate(3)
+    # but combining with an existing entry still works when full
+    assert table.allocate(1).addr == 1
+
+
+def test_release_returns_entry():
+    table = MSHRTable(2)
+    table.allocate(5)
+    entry = table.release(5)
+    assert entry.addr == 5
+    assert 5 not in table
+
+
+def test_release_missing_raises():
+    with pytest.raises(KeyError):
+        MSHRTable(2).release(9)
+
+
+def test_drain_all_waiters_releases_entry():
+    table = MSHRTable(2)
+    entry = table.allocate(7)
+    entry.waiters.extend(["a", "b"])
+    assert table.drain(7) == ["a", "b"]
+    assert 7 not in table
+
+
+def test_drain_with_keep_retains_stragglers():
+    table = MSHRTable(2)
+    entry = table.allocate(7)
+    entry.waiters.extend([1, 5, 9])
+    done = table.drain(7, keep=lambda w: w > 4)
+    assert done == [1]
+    assert table.get(7).waiters == [5, 9]
+    # draining the rest releases the entry
+    assert table.drain(7) == [5, 9]
+    assert 7 not in table
+
+
+def test_drain_missing_entry_is_empty():
+    assert MSHRTable(2).drain(3) == []
+
+
+def test_peak_occupancy_tracks_high_water_mark():
+    table = MSHRTable(4)
+    table.allocate(1)
+    table.allocate(2)
+    table.allocate(3)
+    table.release(2)
+    table.release(3)
+    assert table.peak_occupancy == 3
+
+
+def test_entries_snapshot():
+    table = MSHRTable(4)
+    table.allocate(1)
+    table.allocate(2)
+    assert sorted(e.addr for e in table.entries()) == [1, 2]
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        MSHRTable(0)

@@ -1,0 +1,103 @@
+"""Unit tests for the NoC model."""
+
+import pytest
+
+from repro.mem.noc import Network
+from repro.sim.engine import Engine
+from repro.stats.collector import StatsCollector
+
+
+def make_noc(latency=10, bandwidth=32):
+    engine = Engine()
+    stats = StatsCollector()
+    return engine, stats, Network(engine, stats, latency, bandwidth)
+
+
+def test_single_message_latency():
+    engine, stats, noc = make_noc(latency=10, bandwidth=32)
+    arrivals = []
+    noc.send("a", "b", 32, "ctrl", lambda: arrivals.append(engine.now))
+    engine.run()
+    # 1 cycle serialization + 10 base latency
+    assert arrivals == [11]
+
+
+def test_serialization_scales_with_size():
+    engine, stats, noc = make_noc(latency=0, bandwidth=8)
+    arrivals = []
+    noc.send("a", "b", 24, "data", lambda: arrivals.append(engine.now))
+    engine.run()
+    assert arrivals == [3]  # ceil(24/8)
+
+
+def test_sub_bandwidth_message_still_takes_a_cycle():
+    engine, stats, noc = make_noc(latency=0, bandwidth=64)
+    arrivals = []
+    noc.send("a", "b", 4, "ctrl", lambda: arrivals.append(engine.now))
+    engine.run()
+    assert arrivals == [1]
+
+
+def test_port_congestion_queues_messages():
+    engine, stats, noc = make_noc(latency=5, bandwidth=16)
+    arrivals = []
+    for _ in range(3):
+        noc.send("src", "dst", 32, "data",
+                 lambda: arrivals.append(engine.now))
+    engine.run()
+    # each takes 2 cycles of the port: departures at 2, 4, 6
+    assert arrivals == [7, 9, 11]
+
+
+def test_distinct_ports_do_not_contend():
+    engine, stats, noc = make_noc(latency=5, bandwidth=16)
+    arrivals = []
+    noc.send("a", "x", 32, "data", lambda: arrivals.append(engine.now))
+    noc.send("b", "x", 32, "data", lambda: arrivals.append(engine.now))
+    engine.run()
+    assert arrivals == [7, 7]
+
+
+def test_traffic_accounting_by_kind():
+    engine, stats, noc = make_noc()
+    noc.send("a", "b", 10, "ctrl", lambda: None)
+    noc.send("a", "b", 140, "data", lambda: None)
+    engine.run()
+    assert stats.get("noc_bytes") == 150
+    assert stats.get("noc_bytes_ctrl") == 10
+    assert stats.get("noc_bytes_data") == 140
+    assert stats.get("noc_messages") == 2
+
+
+def test_average_latency():
+    engine, stats, noc = make_noc(latency=10, bandwidth=32)
+    noc.send("a", "b", 32, "ctrl", lambda: None)
+    noc.send("a", "b", 32, "ctrl", lambda: None)  # queued: 1 extra cycle
+    engine.run()
+    assert noc.average_latency == pytest.approx((11 + 12) / 2)
+
+
+def test_idle_port_does_not_accumulate_credit():
+    engine, stats, noc = make_noc(latency=0, bandwidth=16)
+    arrivals = []
+    noc.send("a", "b", 16, "ctrl", lambda: arrivals.append(engine.now))
+    engine.run()
+    assert engine.now == 1
+    # long idle gap: the port's free time must not lag behind now
+    engine.schedule(100, lambda: noc.send(
+        "a", "b", 16, "ctrl", lambda: arrivals.append(engine.now)))
+    engine.run()
+    # sent at cycle 101, one serialization cycle, zero base latency
+    assert arrivals == [1, 102]
+
+
+def test_rejects_nonpositive_size():
+    engine, stats, noc = make_noc()
+    with pytest.raises(ValueError):
+        noc.send("a", "b", 0, "ctrl", lambda: None)
+
+
+def test_rejects_zero_bandwidth():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        Network(engine, StatsCollector(), 1, 0)

@@ -1,0 +1,93 @@
+"""Property tests for the interconnect guarantees the protocols rely on.
+
+The G-TSC and TC controllers match acknowledgments to pending requests
+with plain FIFOs, which is sound only if the fabric preserves order
+between a fixed (source, destination) pair.  These properties pin that
+contract for both topologies.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.noc import MeshNetwork, Network
+from repro.sim.engine import Engine
+from repro.stats.collector import StatsCollector
+
+
+def port_network():
+    engine = Engine()
+    return engine, Network(engine, StatsCollector(), 8, 16)
+
+
+def mesh_network(num_sms=6, num_banks=3):
+    engine = Engine()
+    return engine, MeshNetwork(engine, StatsCollector(), 2, 16,
+                               num_sms, num_banks)
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(min_value=1, max_value=200), min_size=1,
+                max_size=30))
+def test_port_network_is_fifo_per_pair(sizes):
+    engine, noc = port_network()
+    order = []
+    for index, size in enumerate(sizes):
+        noc.send(("sm", 0), ("l2", 0), size, "data",
+                 lambda i=index: order.append(i))
+    engine.run()
+    assert order == list(range(len(sizes)))
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(min_value=1, max_value=200), min_size=1,
+                max_size=30))
+def test_mesh_network_is_fifo_per_pair(sizes):
+    engine, noc = mesh_network()
+    order = []
+    for index, size in enumerate(sizes):
+        noc.send(("sm", 0), ("l2", 2), size, "data",
+                 lambda i=index: order.append(i))
+    engine.run()
+    assert order == list(range(len(sizes)))
+
+
+@settings(max_examples=50)
+@given(st.integers(min_value=2, max_value=20),
+       st.integers(min_value=1, max_value=8),
+       st.integers(min_value=0, max_value=19),
+       st.integers(min_value=0, max_value=7))
+def test_mesh_route_length_is_manhattan_distance(num_sms, num_banks,
+                                                 sm, bank):
+    sm %= num_sms
+    bank %= num_banks
+    engine, noc = mesh_network(num_sms, num_banks)
+    src, dst = ("sm", sm), ("l2", bank)
+    sx, sy = noc.coords(noc.node_of(src))
+    dx, dy = noc.coords(noc.node_of(dst))
+    assert len(noc.route(src, dst)) == abs(sx - dx) + abs(sy - dy)
+
+
+@settings(max_examples=30)
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 2),
+                          st.integers(1, 160)),
+                min_size=1, max_size=40))
+def test_mesh_delivers_every_message_exactly_once(messages):
+    engine, noc = mesh_network()
+    delivered = []
+    for index, (sm, bank, size) in enumerate(messages):
+        noc.send(("sm", sm), ("l2", bank), size, "ctrl",
+                 lambda i=index: delivered.append(i))
+    engine.run()
+    assert sorted(delivered) == list(range(len(messages)))
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(1, 100), min_size=1, max_size=20))
+def test_port_network_conserves_bytes(sizes):
+    engine = Engine()
+    stats = StatsCollector()
+    noc = Network(engine, stats, 4, 16)
+    for size in sizes:
+        noc.send("a", "b", size, "data", lambda: None)
+    engine.run()
+    assert stats.get("noc_bytes") == sum(sizes)

@@ -1,0 +1,94 @@
+"""Robustness under extreme configurations.
+
+Starved structural resources (single-entry MSHRs, 1-byte/cycle NoC
+ports, single-line caches) must degrade performance, never correctness
+or forward progress.
+"""
+
+import pytest
+
+from repro.config import Consistency, GPUConfig, Protocol
+from repro.gpu.gpu import GPU
+
+from tests.conftest import random_kernel, run_and_check
+
+
+def test_single_entry_l1_mshr_makes_progress():
+    config = GPUConfig.tiny(protocol=Protocol.GTSC, l1_mshr_entries=1)
+    gpu, stats = run_and_check(config, random_kernel(1, warps=4,
+                                                     length=40, lines=12))
+    assert stats.counter("l1_mshr_stall") > 0  # pressure was real
+
+
+def test_single_entry_l2_mshr_makes_progress():
+    config = GPUConfig.tiny(protocol=Protocol.GTSC, l2_mshr_entries=1)
+    run_and_check(config, random_kernel(2, warps=4, length=40, lines=24))
+
+
+def test_one_byte_noc_port_is_slow_but_correct():
+    fast = GPUConfig.tiny(protocol=Protocol.GTSC)
+    slow = fast.with_changes(noc_port_bandwidth=1)
+    kernel = random_kernel(3, warps=4, length=30)
+    _, fast_stats = run_and_check(fast, kernel)
+    _, slow_stats = run_and_check(slow, kernel)
+    assert slow_stats.cycles > fast_stats.cycles * 2
+
+
+def test_minimal_l1_thrashes_but_stays_coherent():
+    config = GPUConfig.tiny(protocol=Protocol.GTSC, l1_size=256,
+                            l1_assoc=1)
+    gpu, stats = run_and_check(config, random_kernel(4, warps=4,
+                                                     length=50, lines=16))
+    assert stats.l1_hit_rate < 0.9
+
+
+def test_minimal_l2_with_heavy_eviction():
+    config = GPUConfig.tiny(protocol=Protocol.GTSC,
+                            l2_bank_size=512, l2_assoc=1)
+    gpu, stats = run_and_check(config, random_kernel(5, warps=4,
+                                                     length=50, lines=32))
+    assert stats.counter("l2_evictions") > 0
+    assert stats.counter("dram_reads") > stats.counter("l2_evictions")
+
+
+def test_tiny_lease_floods_renewals_but_is_correct():
+    config = GPUConfig.tiny(protocol=Protocol.GTSC, lease=1)
+    run_and_check(config, random_kernel(6, warps=4, length=50))
+
+
+def test_slow_dram_backpressure():
+    config = GPUConfig.tiny(protocol=Protocol.GTSC, dram_latency=500,
+                            dram_bandwidth=1)
+    gpu, stats = run_and_check(config, random_kernel(7, warps=4,
+                                                     length=25, lines=32),
+                               max_events=4_000_000)
+    assert stats.counter("stall_mem_cycles") > 0
+
+
+@pytest.mark.parametrize("protocol", [Protocol.GTSC, Protocol.TC,
+                                      Protocol.DISABLED])
+def test_every_protocol_survives_starved_machine(protocol):
+    config = GPUConfig.tiny(protocol=protocol,
+                            consistency=Consistency.SC,
+                            l1_mshr_entries=1, l2_mshr_entries=1,
+                            noc_port_bandwidth=4)
+    kernel = random_kernel(8, warps=4, length=30, lines=10)
+    stats = GPU(config).run(kernel, max_events=4_000_000)
+    assert stats.counter("warps_retired") == kernel.num_warps
+
+
+def test_many_warps_per_sm_with_tiny_cache():
+    config = GPUConfig.tiny(protocol=Protocol.GTSC, max_warps_per_sm=16)
+    kernel = random_kernel(9, warps=32, length=20, lines=8)
+    gpu, stats = run_and_check(config, kernel)
+    assert stats.counter("warps_retired") == 32
+
+
+def test_single_sm_machine():
+    config = GPUConfig.tiny(protocol=Protocol.GTSC, num_sms=1)
+    run_and_check(config, random_kernel(10, warps=4, length=40))
+
+
+def test_single_bank_single_partition():
+    config = GPUConfig.tiny(protocol=Protocol.GTSC, num_l2_banks=1)
+    run_and_check(config, random_kernel(11, warps=4, length=40, lines=20))

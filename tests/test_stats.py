@@ -1,0 +1,72 @@
+"""Tests for statistics collection and run summaries."""
+
+import pytest
+
+from repro.stats.collector import RunStats, StatsCollector
+
+
+def test_collector_counts():
+    stats = StatsCollector()
+    stats.add("x")
+    stats.add("x", 4)
+    assert stats.get("x") == 5
+    assert stats.get("missing") == 0
+
+
+def test_snapshot_is_a_copy():
+    stats = StatsCollector()
+    stats.add("x")
+    snap = stats.snapshot()
+    stats.add("x")
+    assert snap["x"] == 1
+
+
+def make_stats(cycles=100, **counters):
+    return RunStats(config_desc="test", cycles=cycles, counters=counters,
+                    energy={"l1": 1.0, "noc": 2.0})
+
+
+def test_runstats_counter_access():
+    stats = make_stats(l1_access=10, l1_hit=4)
+    assert stats.counter("l1_access") == 10
+    assert stats.counter("nope") == 0
+    assert stats.l1_hit_rate == pytest.approx(0.4)
+
+
+def test_hit_rate_zero_when_no_accesses():
+    assert make_stats().l1_hit_rate == 0.0
+
+
+def test_total_energy_sums_components():
+    assert make_stats().total_energy == pytest.approx(3.0)
+
+
+def test_speedup_over_baseline():
+    fast = make_stats(cycles=50)
+    slow = make_stats(cycles=100)
+    assert fast.speedup_over(slow) == pytest.approx(2.0)
+    assert slow.speedup_over(fast) == pytest.approx(0.5)
+
+
+def test_speedup_rejects_zero_cycles():
+    broken = make_stats(cycles=0)
+    with pytest.raises(ValueError):
+        broken.speedup_over(make_stats())
+
+
+def test_summary_mentions_key_metrics():
+    text = make_stats(noc_bytes=123, stall_mem_cycles=7).summary()
+    assert "cycles" in text
+    assert "123" in text
+    assert "energy" in text
+
+
+def test_to_dict_is_json_ready():
+    import json
+    stats = make_stats(l1_access=3)
+    data = stats.to_dict()
+    json.dumps(data)  # must not raise
+    assert data["cycles"] == 100
+    assert data["counters"]["l1_access"] == 3
+    assert data["total_energy_j"] == pytest.approx(3.0)
+    assert data["histograms"] == {}

@@ -1,0 +1,61 @@
+"""Tests for the generic parameter-sweep utility."""
+
+import pytest
+
+from repro.config import Consistency, Protocol
+from repro.harness.runner import ExperimentRunner
+from repro.harness.sweeps import METRICS, sweep
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(preset="tiny", scale=0.15, seed=3)
+
+
+def test_sweep_shape(runner):
+    series = sweep(runner, workloads=["HS", "GE"], parameter="lease",
+                   values=[8, 20])
+    assert series.values == [8, 20]
+    assert set(series.data) == {"HS", "GE"}
+    assert len(series.series("HS")) == 2
+
+
+def test_sweep_l1_size_improves_hit_rate(runner):
+    series = sweep(runner, workloads=["SGM"], parameter="l1_size",
+                   values=[256, 4096], metric="l1_hit_rate")
+    small, large = series.series("SGM")
+    assert large >= small
+
+
+def test_best_value(runner):
+    series = sweep(runner, workloads=["DLP"], parameter="tc_lease",
+                   values=[50, 5000], protocol=Protocol.TC,
+                   consistency=Consistency.SC)
+    # an absurdly long TC lease stalls writes: 50 must win on cycles
+    assert series.best_value("DLP") == 50
+
+
+def test_custom_extractor(runner):
+    series = sweep(runner, workloads=["HS"], parameter="lease",
+                   values=[10], extract=lambda s: float(s.counter(
+                       "l2_renewals")))
+    assert series.series("HS")[0] >= 0
+
+
+def test_unknown_metric_rejected(runner):
+    with pytest.raises(KeyError, match="unknown metric"):
+        sweep(runner, ["HS"], "lease", [10], metric="nope")
+
+
+def test_table_rendering(runner):
+    series = sweep(runner, workloads=["HS"], parameter="lease",
+                   values=[8, 20])
+    text = series.table()
+    assert "lease=8" in text and "lease=20" in text and "HS" in text
+
+
+def test_all_builtin_metrics_extract(runner):
+    for metric in METRICS:
+        series = sweep(runner, ["HS"], "lease", [10], metric=metric)
+        value = series.series("HS")[0]
+        assert isinstance(value, float) and value >= 0
