@@ -136,9 +136,9 @@ class SM:
     def _schedule_issue(self, delay: int) -> None:
         target = self.engine.now + delay
         if self._issue_event is not None:
-            if self._issue_event.time <= target:
+            if self._issue_event[0] <= target:    # [0] is the fire time
                 return
-            self._issue_event.cancel()
+            self.engine.cancel(self._issue_event)
         self._issue_event = self.engine.schedule(delay, self._issue)
 
     # ------------------------------------------------------------------

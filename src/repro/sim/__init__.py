@@ -1,5 +1,5 @@
 """Deterministic event-driven simulation kernel."""
 
-from repro.sim.engine import Engine, Event
+from repro.sim.engine import Engine, EventHandle
 
-__all__ = ["Engine", "Event"]
+__all__ = ["Engine", "EventHandle"]

@@ -10,79 +10,106 @@ produce bit-identical statistics.
 There is deliberately no per-cycle ``tick()`` loop — idle cycles are
 skipped entirely by jumping the clock to the next scheduled event.
 This is what makes a pure-Python cycle-level GPU model tractable.
+
+Heap entries are plain ``[time, seq, callback, args]`` lists, so both
+allocation and ordering comparisons stay entirely in C (list-of-int
+comparison; ``seq`` is unique, so ``callback`` never participates).
+:meth:`Engine.schedule` returns the entry itself as an opaque handle;
+cancel through :meth:`Engine.cancel`, which nulls the callback slot in
+place.  Cancelled entries are counted so :meth:`Engine.pending` is
+O(1), and the heap is compacted once cancelled entries dominate it, so
+long runs with many cancellations cannot grow the heap without bound.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, List, Optional
 
-
-@dataclass(order=True)
-class Event:
-    """A single scheduled callback.
-
-    Ordered by ``(time, seq)`` so same-cycle events preserve their
-    scheduling order.  Cancelled events stay in the heap but are
-    skipped when popped.
-    """
-
-    time: int
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-
-    def cancel(self) -> None:
-        """Prevent this event from firing; safe to call more than once."""
-        self.cancelled = True
+# The opaque handle returned by Engine.schedule: a heap entry of the
+# form [time, seq, callback, args].  A cancelled (or already-fired)
+# entry has callback None.
+EventHandle = List[Any]
 
 
 class Engine:
     """A deterministic event heap with an integer clock."""
 
+    # compact only once this many cancelled entries have accumulated
+    # *and* they make up at least half the heap (see cancel)
+    COMPACT_THRESHOLD = 256
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._seq = 0
+        self._heap: List[EventHandle] = []
+        self._seq = 0               # also the total ever scheduled
         self.now = 0
         self.events_fired = 0
+        self._cancelled = 0         # total ever cancelled
+        self._stale = 0             # cancelled entries still in the heap
 
     def schedule(self, delay: int, callback: Callable[..., None],
-                 *args: Any) -> Event:
+                 *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to fire ``delay`` cycles from now.
 
         ``delay`` must be non-negative; a zero delay fires later in the
         current cycle, after all previously scheduled current-cycle
-        events.  Returns the :class:`Event`, which may be cancelled.
+        events.  Returns a handle accepted by :meth:`cancel`; the
+        handle's ``[0]`` element is the absolute fire time.
         """
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        event = Event(self.now + delay, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = [self.now + delay, seq, callback, args]
+        heappush(self._heap, event)
         return event
 
     def at(self, time: int, callback: Callable[..., None],
-           *args: Any) -> Event:
+           *args: Any) -> EventHandle:
         """Schedule ``callback`` at an absolute cycle (>= now)."""
         return self.schedule(time - self.now, callback, *args)
 
+    def cancel(self, event: EventHandle) -> None:
+        """Prevent a scheduled event from firing.
+
+        Safe to call more than once, and safe after the event has
+        fired (both are no-ops).  The handle must come from this
+        engine's :meth:`schedule`/:meth:`at`.
+        """
+        if event[2] is not None:
+            event[2] = None
+            self._cancelled += 1
+            stale = self._stale = self._stale + 1
+            if (stale >= self.COMPACT_THRESHOLD
+                    and stale * 2 >= len(self._heap)):
+                self.compact()
+
+    @staticmethod
+    def cancelled(event: EventHandle) -> bool:
+        """Whether this event will no longer fire (cancelled or fired)."""
+        return event[2] is None
+
     def peek(self) -> Optional[int]:
         """Return the time of the next pending event, or None if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2] is None:
+            heappop(heap)
+            self._stale -= 1
+        return heap[0][0] if heap else None
 
     def step(self) -> bool:
         """Fire the next event.  Returns False when the heap is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            event = heappop(heap)
+            callback = event[2]
+            if callback is None:
+                self._stale -= 1
                 continue
-            self.now = event.time
+            event[2] = None
+            self.now = event[0]
             self.events_fired += 1
-            event.callback(*event.args)
+            callback(*event[3])
             return True
         return False
 
@@ -94,22 +121,54 @@ class Engine:
         ``until``, or after ``max_events`` events (a safety valve for
         tests against livelock).  Returns the final clock value.
         """
+        heap = self._heap
+        if until is None and max_events is None:
+            # hot path: no bound checks inside the loop
+            while heap:
+                event = heappop(heap)
+                callback = event[2]
+                if callback is None:
+                    self._stale -= 1
+                    continue
+                event[2] = None
+                self.now = event[0]
+                self.events_fired += 1
+                callback(*event[3])
+            return self.now
         fired = 0
-        while True:
-            next_time = self.peek()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
+        while heap:
+            event = heappop(heap)
+            callback = event[2]
+            if callback is None:
+                self._stale -= 1
+                continue
+            time = event[0]
+            if until is not None and time > until:
+                heappush(heap, event)
                 self.now = until
                 break
             if max_events is not None and fired >= max_events:
+                heappush(heap, event)
                 raise RuntimeError(
                     f"engine exceeded {max_events} events at cycle {self.now}"
                 )
-            self.step()
+            event[2] = None
+            self.now = time
+            self.events_fired += 1
             fired += 1
+            callback(*event[3])
         return self.now
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._seq - self.events_fired - self._cancelled
+
+    def compact(self) -> None:
+        """Drop cancelled entries from the heap and re-heapify.
+
+        Called automatically once cancelled entries make up at least
+        half of a large heap; exposed for tests and explicit trimming.
+        """
+        self._heap = [entry for entry in self._heap if entry[2] is not None]
+        heapify(self._heap)
+        self._stale = 0

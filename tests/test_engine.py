@@ -54,7 +54,7 @@ def test_cancelled_event_does_not_fire():
     fired = []
     event = engine.schedule(4, fired.append, "x")
     engine.schedule(1, fired.append, "y")
-    event.cancel()
+    engine.cancel(event)
     engine.run()
     assert fired == ["y"]
 
@@ -62,8 +62,8 @@ def test_cancelled_event_does_not_fire():
 def test_cancel_is_idempotent():
     engine = Engine()
     event = engine.schedule(1, lambda: None)
-    event.cancel()
-    event.cancel()
+    engine.cancel(event)
+    engine.cancel(event)
     engine.run()
 
 
@@ -91,7 +91,7 @@ def test_peek_skips_cancelled():
     engine = Engine()
     event = engine.schedule(2, lambda: None)
     engine.schedule(5, lambda: None)
-    event.cancel()
+    engine.cancel(event)
     assert engine.peek() == 5
 
 
@@ -128,9 +128,36 @@ def test_pending_counts_live_events():
     engine = Engine()
     keep = engine.schedule(1, lambda: None)
     drop = engine.schedule(2, lambda: None)
-    drop.cancel()
+    engine.cancel(drop)
     assert engine.pending() == 1
-    assert keep.time == 1
+    assert keep[0] == 1
+    assert Engine.cancelled(drop) and not Engine.cancelled(keep)
+
+
+def test_mass_cancellation_compacts_the_heap():
+    """Cancelled entries must be reclaimed, not accumulate forever."""
+    engine = Engine()
+    fired = []
+    doomed = [engine.schedule(i + 1, fired.append, i) for i in range(10_000)]
+    keep = engine.schedule(50_000, fired.append, "keep")
+    for event in doomed:
+        engine.cancel(event)
+    # compaction kicked in: far fewer entries than were scheduled
+    assert len(engine._heap) < 1_000
+    assert engine.pending() == 1
+    engine.run()
+    assert fired == ["keep"]
+    assert engine.now == 50_000
+    assert not engine._heap
+    assert Engine.cancelled(keep)  # fired events read as no-longer-pending
+
+
+def test_cancel_after_fire_is_a_noop():
+    engine = Engine()
+    event = engine.schedule(1, lambda: None)
+    engine.run()
+    engine.cancel(event)
+    assert engine.pending() == 0
 
 
 def test_determinism_of_interleaved_schedules():

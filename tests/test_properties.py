@@ -37,7 +37,7 @@ def test_engine_cancellation_only_removes_cancelled(jobs):
                        cancel))
     for event, cancel in events:
         if cancel:
-            event.cancel()
+            engine.cancel(event)
     engine.run()
     expected = {i for i, (e, c) in enumerate(events) if not c}
     assert set(fired) == expected
