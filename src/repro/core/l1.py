@@ -47,6 +47,7 @@ from repro.protocols.base import (
     Message,
     PendingAtomic,
     PendingStore,
+    pop_pending,
 )
 from repro.validate.versions import AtomicRecord, LoadRecord, StoreRecord
 
@@ -57,6 +58,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 class GTSCL1Controller(L1ControllerBase):
     """Per-SM L1 controller for G-TSC."""
+
+    __slots__ = ("cache", "epoch", "_pending_stores", "_pending_atomics",
+                 "_locked_waiters", "_pending_writers", "_warps")
 
     def __init__(self, sm_id: int, machine: "Machine") -> None:
         super().__init__(sm_id, machine)
@@ -278,7 +282,7 @@ class GTSCL1Controller(L1ControllerBase):
         queue = self._pending_stores.get(msg.addr)
         if not queue:  # pragma: no cover - defensive
             raise RuntimeError(f"write ack with no pending store: {msg!r}")
-        pending = queue.popleft()
+        pending = pop_pending(queue, msg.version)
         stale = msg.epoch < self.epoch
         line = self.cache.lookup(msg.addr, touch=False)
         if line is not None:
@@ -311,7 +315,7 @@ class GTSCL1Controller(L1ControllerBase):
         queue = self._pending_atomics.get(msg.addr)
         if not queue:  # pragma: no cover - defensive
             raise RuntimeError(f"atomic ack with no pending RMW: {msg!r}")
-        pending = queue.popleft()
+        pending = pop_pending(queue, msg.version)
         stale = msg.epoch < self.epoch
         line = self.cache.lookup(msg.addr, touch=False)
         if line is not None:

@@ -36,6 +36,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class GTSCL2Bank(L2BankBase):
     """One bank of the shared cache under G-TSC."""
 
+    __slots__ = ("domain", "mem_ts")
+
     def __init__(self, bank_id: int, machine: "Machine",
                  domain: TimestampDomain) -> None:
         super().__init__(bank_id, machine)
@@ -132,7 +134,8 @@ class GTSCL2Bank(L2BankBase):
         self.machine.versions.record_wts(msg.addr, msg.version, wts,
                                          self.domain.epoch)
         self._reply(msg.sm, BusWrAck(msg.addr, msg.sm, line.wts, line.rts,
-                                     self.domain.epoch))
+                                     self.domain.epoch,
+                                     version=msg.version))
 
     # ------------------------------------------------------------------
     # atomics: the write path plus the old value (protocol extension)
@@ -169,7 +172,8 @@ class GTSCL2Bank(L2BankBase):
                                          self.domain.epoch)
         self._reply(msg.sm, BusAtmAck(msg.addr, msg.sm, line.wts,
                                       line.rts, old_version,
-                                      self.domain.epoch))
+                                      self.domain.epoch,
+                                      version=msg.version))
 
     # ------------------------------------------------------------------
     # DRAM fill and eviction (Figure 6)

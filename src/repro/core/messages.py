@@ -89,17 +89,24 @@ class BusRnw(Message):
 
 
 class BusWrAck(Message):
-    """Write acknowledgment from L2 with the store's assigned lease."""
+    """Write acknowledgment from L2 with the store's assigned lease.
+
+    ``version`` names the store being acknowledged so the L1 can match
+    the ack to the right pending entry even when the L2's retry path
+    reordered same-line requests; it models the request tag real
+    hardware echoes and adds no payload bytes.
+    """
 
     kind = "ctrl"
-    __slots__ = ("wts", "rts", "epoch")
+    __slots__ = ("wts", "rts", "epoch", "version")
 
     def __init__(self, addr: int, sm: int, wts: int, rts: int,
-                 epoch: int) -> None:
+                 epoch: int, version: int = None) -> None:
         super().__init__(addr, sm)
         self.wts = wts
         self.rts = rts
         self.epoch = epoch
+        self.version = version
 
     def payload_bytes(self, config) -> int:
         # rts + wts (Table I row "Write Acknowledgment")
@@ -137,18 +144,24 @@ class BusAtm(Message):
 
 
 class BusAtmAck(Message):
-    """Atomic response: the assigned lease plus the old value."""
+    """Atomic response: the assigned lease plus the old value.
+
+    Like :class:`BusWrAck`, ``version`` echoes the RMW's own new
+    version so the ack pairs with the right pending atomic.
+    """
 
     kind = "ctrl"
-    __slots__ = ("wts", "rts", "old_version", "epoch")
+    __slots__ = ("wts", "rts", "old_version", "epoch", "version")
 
     def __init__(self, addr: int, sm: int, wts: int, rts: int,
-                 old_version: int, epoch: int) -> None:
+                 old_version: int, epoch: int,
+                 version: int = None) -> None:
         super().__init__(addr, sm)
         self.wts = wts
         self.rts = rts
         self.old_version = old_version
         self.epoch = epoch
+        self.version = version
 
     def payload_bytes(self, config) -> int:
         # rts + wts + the returned old word

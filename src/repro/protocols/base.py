@@ -95,6 +95,26 @@ class PendingAtomic:
         self.issue_cycle = issue_cycle
 
 
+def pop_pending(queue, version: Optional[int]):
+    """Pop the pending store/atomic an acknowledgment answers.
+
+    Acks carry the version of the request they acknowledge whenever the
+    protocol can (all four protocols thread it through).  Matching by
+    version matters because the L2's MSHR-full retry path re-enters the
+    bank pipeline on an independent timer, which can reorder same-line
+    requests from one SM — plain FIFO popping would then pair each ack
+    with the wrong pending entry, tearing atomic old/new pairs and warp
+    timestamp updates.  Falls back to FIFO when the ack carries no
+    version (unit tests that hand-build messages).
+    """
+    if version is not None:
+        for index, pending in enumerate(queue):
+            if pending.version == version:
+                del queue[index]
+                return pending
+    return queue.popleft()
+
+
 # ---------------------------------------------------------------------------
 # L1 controller base
 # ---------------------------------------------------------------------------
@@ -107,6 +127,8 @@ class L1ControllerBase:
     MSHR) forces the SM to retry later.  Completion is signalled
     through the ``on_done`` callback.
     """
+
+    __slots__ = ("sm_id", "machine", "config", "engine", "stats", "mshr")
 
     def __init__(self, sm_id: int, machine: "Machine") -> None:
         self.sm_id = sm_id
@@ -161,6 +183,9 @@ class L2BankBase:
     partition.  Subclasses implement :meth:`_process` (the protocol
     state machine) plus the fill/eviction hooks.
     """
+
+    __slots__ = ("bank_id", "machine", "config", "engine", "stats",
+                 "cache", "mshr", "dram", "_ready_at")
 
     def __init__(self, bank_id: int, machine: "Machine") -> None:
         self.bank_id = bank_id

@@ -43,6 +43,7 @@ from repro.protocols.base import (
     Message,
     PendingAtomic,
     PendingStore,
+    pop_pending,
 )
 from repro.validate.versions import AtomicRecord, LoadRecord, StoreRecord
 
@@ -152,11 +153,13 @@ class MemAtmD(Message):
 
 class AtmAckD(Message):
     kind = "ctrl"
-    __slots__ = ("old_version",)
+    __slots__ = ("old_version", "version")
 
-    def __init__(self, addr: int, sm: int, old_version: int) -> None:
+    def __init__(self, addr: int, sm: int, old_version: int,
+                 version: int = None) -> None:
         super().__init__(addr, sm)
         self.old_version = old_version
+        self.version = version
 
     def payload_bytes(self, config) -> int:
         return 8
@@ -324,7 +327,7 @@ class MESIL1Controller(L1ControllerBase):
         self._send(InvAck(msg.addr, self.sm_id, version, had_data))
 
     def _on_atomic_ack(self, msg: AtmAckD) -> None:
-        pending = self._pending_atomics[msg.addr].popleft()
+        pending = pop_pending(self._pending_atomics[msg.addr], msg.version)
         self.machine.log.record_atomic(AtomicRecord(
             warp_uid=pending.warp.uid, addr=msg.addr,
             old_version=msg.old_version, new_version=pending.version,
@@ -551,9 +554,13 @@ class MESIL2Bank(L2BankBase):
     def _atomic(self, msg: MemAtmD, entry: _DirEntry,
                 line: CacheLine) -> None:
         targets = set(entry.sharers)
-        if entry.owner is not None:
-            targets.add(entry.owner)
         targets.discard(msg.sm)
+        if entry.owner is not None:
+            # recall the owner's copy even when the owner is the
+            # requesting SM: its DataM may have raced past this atomic
+            # and the newest data then sits modified in its L1 (the
+            # Inv ack carries the data back before the RMW executes)
+            targets.add(entry.owner)
         if targets:
             self.stats.add("dir_invalidations", len(targets))
             entry.pending_acks = len(targets)
@@ -573,7 +580,8 @@ class MESIL2Bank(L2BankBase):
         entry.owner = None
         self.machine.versions.record_wts(msg.addr, msg.version,
                                          self.engine.now)
-        self._reply(msg.sm, AtmAckD(msg.addr, msg.sm, old_version))
+        self._reply(msg.sm, AtmAckD(msg.addr, msg.sm, old_version,
+                                    version=msg.version))
         self._unpark(entry)
 
     def _unpark(self, entry: _DirEntry) -> None:

@@ -26,6 +26,7 @@ from repro.protocols.base import (
     Message,
     PendingAtomic,
     PendingStore,
+    pop_pending,
 )
 from repro.validate.versions import AtomicRecord, LoadRecord, StoreRecord
 
@@ -53,7 +54,7 @@ class _AtomicMixin:
         return True
 
     def _on_atomic_ack(self, msg: "MemAtmAck") -> None:
-        pending = self._pending_atomics[msg.addr].popleft()
+        pending = pop_pending(self._pending_atomics[msg.addr], msg.version)
         self.machine.log.record_atomic(AtomicRecord(
             warp_uid=pending.warp.uid,
             addr=msg.addr,
@@ -106,7 +107,11 @@ class MemFill(Message):
 
 class MemAck(Message):
     kind = "ctrl"
-    __slots__ = ()
+    __slots__ = ("version",)
+
+    def __init__(self, addr: int, sm: int, version: int = None) -> None:
+        super().__init__(addr, sm)
+        self.version = version
 
 
 class MemAtm(Message):
@@ -123,11 +128,13 @@ class MemAtm(Message):
 
 class MemAtmAck(Message):
     kind = "ctrl"
-    __slots__ = ("old_version",)
+    __slots__ = ("old_version", "version")
 
-    def __init__(self, addr: int, sm: int, old_version: int) -> None:
+    def __init__(self, addr: int, sm: int, old_version: int,
+                 version: int = None) -> None:
         super().__init__(addr, sm)
         self.old_version = old_version
+        self.version = version
 
     def payload_bytes(self, config) -> int:
         return 8
@@ -179,7 +186,8 @@ class DisabledL1Controller(_AtomicMixin, L1ControllerBase):
             ))
             self._complete(waiter.on_done)
         elif isinstance(msg, MemAck):
-            pending = self._pending_stores[msg.addr].popleft()
+            pending = pop_pending(self._pending_stores[msg.addr],
+                                  msg.version)
             self.machine.log.record_store(StoreRecord(
                 warp_uid=pending.warp.uid,
                 addr=msg.addr,
@@ -267,7 +275,8 @@ class NonCoherentL1Controller(_AtomicMixin, L1ControllerBase):
                 ))
                 self._complete(waiter.on_done)
         elif isinstance(msg, MemAck):
-            pending = self._pending_stores[msg.addr].popleft()
+            pending = pop_pending(self._pending_stores[msg.addr],
+                                  msg.version)
             self.machine.log.record_store(StoreRecord(
                 warp_uid=pending.warp.uid, addr=msg.addr,
                 version=pending.version, logical_ts=0, epoch=0,
@@ -304,7 +313,8 @@ class PlainL2Bank(L2BankBase):
             line.dirty = True
             self.machine.versions.record_wts(msg.addr, msg.version,
                                              self.engine.now)
-            self._reply(msg.sm, MemAck(msg.addr, msg.sm))
+            self._reply(msg.sm, MemAck(msg.addr, msg.sm,
+                                       version=msg.version))
         elif isinstance(msg, MemAtm):
             self.stats.add("l2_atomics")
             old_version = line.version
@@ -312,7 +322,8 @@ class PlainL2Bank(L2BankBase):
             line.dirty = True
             self.machine.versions.record_wts(msg.addr, msg.version,
                                              self.engine.now)
-            self._reply(msg.sm, MemAtmAck(msg.addr, msg.sm, old_version))
+            self._reply(msg.sm, MemAtmAck(msg.addr, msg.sm, old_version,
+                                          version=msg.version))
         else:  # pragma: no cover - defensive
             raise TypeError(f"unexpected message at plain L2: {msg!r}")
 

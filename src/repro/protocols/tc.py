@@ -33,6 +33,7 @@ from repro.protocols.base import (
     Message,
     PendingAtomic,
     PendingStore,
+    pop_pending,
 )
 from repro.validate.versions import AtomicRecord, LoadRecord, StoreRecord
 
@@ -83,14 +84,20 @@ class TCFill(Message):
 
 
 class TCWrAck(Message):
-    """Write acknowledgment carrying the GWCT (32-bit)."""
+    """Write acknowledgment carrying the GWCT (32-bit).
+
+    ``version`` echoes the acknowledged store (request tag, no wire
+    cost) so the L1 pairs the ack correctly under L2 retry reordering.
+    """
 
     kind = "ctrl"
-    __slots__ = ("gwct",)
+    __slots__ = ("gwct", "version")
 
-    def __init__(self, addr: int, sm: int, gwct: int) -> None:
+    def __init__(self, addr: int, sm: int, gwct: int,
+                 version: int = None) -> None:
         super().__init__(addr, sm)
         self.gwct = gwct
+        self.version = version
 
     def payload_bytes(self, config) -> int:
         return config.tc_timestamp_bytes
@@ -114,13 +121,14 @@ class TCAtmAck(Message):
     """Atomic response: old value plus GWCT."""
 
     kind = "ctrl"
-    __slots__ = ("old_version", "gwct")
+    __slots__ = ("old_version", "gwct", "version")
 
     def __init__(self, addr: int, sm: int, old_version: int,
-                 gwct: int) -> None:
+                 gwct: int, version: int = None) -> None:
         super().__init__(addr, sm)
         self.old_version = old_version
         self.gwct = gwct
+        self.version = version
 
     def payload_bytes(self, config) -> int:
         return config.tc_timestamp_bytes + 8
@@ -231,7 +239,7 @@ class TCL1Controller(L1ControllerBase):
         queue = self._pending_stores.get(msg.addr)
         if not queue:  # pragma: no cover - defensive
             raise RuntimeError(f"write ack with no pending store: {msg!r}")
-        pending = queue.popleft()
+        pending = pop_pending(queue, msg.version)
         if not queue:
             self._pending_stores.pop(msg.addr, None)
         # TC-Weak: remember when this write becomes globally visible
@@ -253,7 +261,7 @@ class TCL1Controller(L1ControllerBase):
         queue = self._pending_atomics.get(msg.addr)
         if not queue:  # pragma: no cover - defensive
             raise RuntimeError(f"atomic ack with no pending RMW: {msg!r}")
-        pending = queue.popleft()
+        pending = pop_pending(queue, msg.version)
         if not queue:
             self._pending_atomics.pop(msg.addr, None)
         pending.warp.gwct = max(pending.warp.gwct, msg.gwct)
@@ -369,7 +377,8 @@ class TCL2Bank(L2BankBase):
         line.version = msg.version
         line.dirty = True
         self.machine.versions.record_wts(msg.addr, msg.version, now)
-        self._reply(msg.sm, TCWrAck(msg.addr, msg.sm, gwct))
+        self._reply(msg.sm, TCWrAck(msg.addr, msg.sm, gwct,
+                                    version=msg.version))
 
     def _atomic(self, msg: TCAtm) -> None:
         """Atomic RMW: follows the write path, returning the old value.
@@ -410,7 +419,8 @@ class TCL2Bank(L2BankBase):
         line.version = msg.version
         line.dirty = True
         self.machine.versions.record_wts(msg.addr, msg.version, now)
-        self._reply(msg.sm, TCAtmAck(msg.addr, msg.sm, old_version, gwct))
+        self._reply(msg.sm, TCAtmAck(msg.addr, msg.sm, old_version, gwct,
+                                     version=msg.version))
 
     # -- fill / inclusion -------------------------------------------------------
     def _install_fill(self, addr: int) -> Optional[CacheLine]:

@@ -174,6 +174,45 @@ def test_forward_all_coherent_under_stress():
 
 
 # ---------------------------------------------------------------------------
+# acks arriving out of issue order (L2 MSHR-retry reordering)
+# ---------------------------------------------------------------------------
+
+def test_crossed_write_acks_pair_by_version():
+    """Regression: the L2's MSHR-full retry path re-enters the bank
+    pipeline on a timer, so two stores from one SM to one line can be
+    performed (and acknowledged) out of issue order.  The acks must be
+    matched to their own pending stores by version — FIFO popping would
+    cross the warps' timestamp updates and tear the records."""
+    machine = make_machine()
+    l1 = machine.l1s[0]
+    warp_a, warp_b = Warp(0, []), Warp(1, [])
+    line = fill_line(machine, l1, warp_a, 0)
+    line.pending_stores = 2
+    done_a, cb_a = tracker()
+    done_b, cb_b = tracker()
+    from repro.protocols.base import PendingStore
+    from collections import deque
+    l1._pending_stores[0] = deque([
+        PendingStore(warp_a, 0, 1, cb_a, 0),
+        PendingStore(warp_b, 0, 2, cb_b, 0),
+    ])
+    # version 2 was performed first at the L2 (lower wts), version 1
+    # after it — acks arrive in performance order, not issue order
+    l1.receive(BusWrAck(0, 0, wts=30, rts=40, epoch=0, version=2))
+    l1.receive(BusWrAck(0, 0, wts=50, rts=60, epoch=0, version=1))
+    machine.engine.run()
+    assert done_a == [True] and done_b == [True]
+    # each warp advanced to its *own* store's timestamp
+    assert warp_b.ts == 30 and warp_a.ts == 50
+    refreshed = l1.cache.lookup(0)
+    assert refreshed.version == 1       # the logically newest write
+    assert refreshed.pending_stores == 0
+    by_version = {r.version: r for r in machine.log.stores}
+    assert by_version[1].warp_uid == 0 and by_version[1].logical_ts == 50
+    assert by_version[2].warp_uid == 1 and by_version[2].logical_ts == 30
+
+
+# ---------------------------------------------------------------------------
 # write acks racing newer fills
 # ---------------------------------------------------------------------------
 

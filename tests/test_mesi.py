@@ -218,6 +218,31 @@ def test_atomics_never_tear():
     assert gpu.machine.versions.latest(0) == 20
 
 
+def test_atomic_recalls_requesters_own_modified_copy():
+    """Regression: an atomic racing its own SM's store-ownership grant.
+
+    Two warps on one SM: one stores to a line (GetM in flight), the
+    other issues an atomic to the same line.  The DataM grant lands
+    first, so the store completes *locally* in M — the newest data sits
+    in the requester's own L1 when the directory performs the RMW.  The
+    directory must recall the owner's copy even though the owner is the
+    requesting SM, or the atomic reads the stale L2 version (a tear).
+    """
+    from repro.validate.checker import check_atomicity
+    kernel = Kernel("own", [
+        [load(0), load(1), atomic(2), fence()],
+        [load(0), fence()],
+        [load(0), store(2), fence()],
+    ])
+    for consistency in (Consistency.SC, Consistency.RC):
+        config = GPUConfig.tiny(protocol=Protocol.MESI,
+                                consistency=consistency)
+        gpu = GPU(config)
+        gpu.run(kernel)
+        log, versions = gpu.machine.log, gpu.machine.versions
+        assert check_atomicity(log, versions) == len(log.atomics) == 1
+
+
 def test_final_state_matches_other_protocols_on_race_free_kernel():
     kernel = Kernel("spsc", [
         [store(0), fence(), store(1), fence()],

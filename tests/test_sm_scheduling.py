@@ -96,8 +96,21 @@ def test_hang_detection_reports_stuck_warps():
     from repro.protocols.factory import build_protocol
     config = GPUConfig.tiny()
     gpu = GPU(config)
+
     # sabotage: disconnect the L1 from its SM completions
-    gpu.machine.l1s[0].load = lambda warp, addr, cb: True  # swallows it
+    class SwallowingL1:
+        def __init__(self, inner):
+            self._inner = inner
+
+        def load(self, warp, addr, cb):
+            return True  # accepted, but the callback never fires
+
+        def __getattr__(self, name):
+            return getattr(self._inner, name)
+
+    sabotaged = SwallowingL1(gpu.machine.l1s[0])
+    gpu.machine.l1s[0] = sabotaged
+    gpu.sms[0].l1 = sabotaged
     with pytest.raises(SimulationHang, match="never finished"):
         gpu.run(Kernel("stuck", [[load(0), fence()]]))
 
