@@ -44,3 +44,56 @@ def test_event_engine_throughput(benchmark):
         return count[0]
 
     assert benchmark.pedantic(churn, rounds=3, iterations=1) == 50_000
+
+
+def test_engine_schedule_cancel_churn(benchmark):
+    """Scheduling plus heavy cancellation: the compaction path.
+
+    Half the scheduled events are cancelled before firing, the way SM
+    issue-event rescheduling behaves under MSHR pressure; the lazy
+    cancel + periodic compaction must keep this near the pure-fire
+    cost rather than degrading with heap garbage.
+    """
+    from repro.sim.engine import Engine
+
+    def churn():
+        engine = Engine()
+        fired = [0]
+
+        def noop():
+            fired[0] += 1
+
+        for round_ in range(50):
+            doomed = [engine.schedule(1000 + i, noop)
+                      for i in range(500)]
+            for event in doomed:
+                engine.cancel(event)
+            for i in range(500):
+                engine.schedule(1, noop)
+            engine.run()
+        return fired[0]
+
+    assert benchmark.pedantic(churn, rounds=3, iterations=1) == 25_000
+
+
+def test_matrix_sweep_throughput(benchmark):
+    """End-to-end harness throughput: a small protocol matrix.
+
+    Exercises the full stack the experiment suite sits on — workload
+    construction, runner memoisation and simulation — so harness-level
+    regressions (not just engine ones) show up.  Uses a fresh runner
+    per round: deliberately cold, measuring simulation cost.
+    """
+    from repro.config import Consistency, Protocol
+    from repro.harness.runner import ExperimentRunner
+
+    workloads = ["BFS", "STN"]
+
+    def run_matrix():
+        runner = ExperimentRunner(preset="tiny", scale=0.3, seed=2018)
+        for workload in workloads:
+            runner.matrix(workload)
+        return runner.simulations_run
+
+    assert benchmark.pedantic(run_matrix, rounds=3, iterations=1) \
+        == 4 * len(workloads)

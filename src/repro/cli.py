@@ -29,6 +29,9 @@ from repro.workloads import ALL_NAMES, WORKLOADS, build_workload
 EXPERIMENT_FNS = {e.experiment_id: e.fn for e in EXPECTATIONS}
 
 
+DEFAULT_CACHE_DIR = "results/.runcache"
+
+
 def _add_runner_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--preset", default="small",
                         choices=["tiny", "small", "paper"],
@@ -37,11 +40,28 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
                         help="workload scale factor (default: 0.5)")
     parser.add_argument("--seed", type=int, default=2018,
                         help="workload seed (default: 2018)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="simulate independent points over N worker "
+                             "processes (default: 1, in-process)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        metavar="DIR",
+                        help="directory for the on-disk run cache "
+                             f"(default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk run cache")
 
 
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    cache_dir = None if args.no_cache else args.cache_dir
+    if args.jobs > 1:
+        from repro.harness.parallel import ParallelRunner
+        return ParallelRunner(jobs=args.jobs, preset=args.preset,
+                              scale=args.scale, seed=args.seed,
+                              cache_dir=cache_dir)
     return ExperimentRunner(preset=args.preset, scale=args.scale,
-                            seed=args.seed)
+                            seed=args.seed, cache_dir=cache_dir)
 
 
 def cmd_list(_args: argparse.Namespace) -> int:

@@ -1,0 +1,113 @@
+"""On-disk cache of finished simulation runs.
+
+Simulations are deterministic: the same machine configuration, workload,
+scale and seed always produce the same :class:`RunStats`.  That makes a
+run a pure function of its parameters, so the harness can persist each
+result as a small JSON file and skip the simulation entirely the next
+time the identical point is requested — across processes and sessions,
+not just within one runner's in-memory memoisation.
+
+Layout: one file per run under the cache directory, named by a sha256
+digest of the canonical-JSON key.  The key covers every field of the
+:class:`~repro.config.GPUConfig`, the workload name, scale, seed, and
+``repro.__version__`` — bumping the package version invalidates every
+entry, which is the coarse-but-safe answer to "the simulator's
+behaviour changed".  Unreadable or corrupt files are treated as misses
+and silently re-simulated (the fresh result overwrites them).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+import repro
+from repro.config import GPUConfig
+from repro.stats.collector import RunStats
+
+
+def _canonical(value):
+    """Reduce a key component to deterministic JSON-friendly values."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    return value
+
+
+def run_key(config: GPUConfig, workload: str, scale: float,
+            seed: int) -> str:
+    """The sha256 cache key of one simulation point.
+
+    Every config field participates, so changing *any* machine
+    parameter — not just the ones a sweep happens to vary — lands on a
+    different file.
+    """
+    payload = {
+        "version": repro.__version__,
+        "workload": workload,
+        "scale": scale,
+        "seed": seed,
+        "config": {
+            f.name: _canonical(getattr(config, f.name))
+            for f in dataclasses.fields(config)
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class RunCache:
+    """JSON-per-run store keyed by :func:`run_key`.
+
+    Writes are atomic (temp file + rename) so a crashed or interrupted
+    run never leaves a half-written entry; readers treat anything
+    unparsable as a miss.
+    """
+
+    def __init__(self, cache_dir: str) -> None:
+        self.cache_dir = cache_dir
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, key + ".json")
+
+    def get(self, key: str) -> Optional[RunStats]:
+        """The cached result for ``key``, or None on miss/corruption."""
+        try:
+            with open(self._path(key)) as handle:
+                data = json.load(handle)
+            stats = RunStats.from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def put(self, key: str, stats: RunStats) -> None:
+        """Persist ``stats`` under ``key`` (atomic, best-effort)."""
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.cache_dir,
+                                       suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(stats.to_dict(), handle, sort_keys=True)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            # a read-only or full disk must not fail the experiment
+            pass
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}

@@ -32,7 +32,7 @@ from repro.config import (
     Protocol,
     VisibilityPolicy,
 )
-from repro.harness.runner import ExperimentRunner
+from repro.harness.runner import ExperimentRunner, point_of
 from repro.harness.tables import ExperimentResult, geomean
 from repro.workloads import ALL_NAMES, COHERENT_NAMES, INDEPENDENT_NAMES
 
@@ -41,6 +41,21 @@ _BARS = ["TC-SC", "TC-RC", "G-TSC-SC", "G-TSC-RC"]
 
 def _group(name: str) -> str:
     return "coherent" if name in COHERENT_NAMES else "no-coh"
+
+
+def _prefetch_standard(runner: ExperimentRunner, names,
+                       with_l1: bool = False) -> None:
+    """Batch the baseline+matrix points every figure loop needs.
+
+    Handing the full point set to the runner up front lets a parallel
+    runner simulate them concurrently; a sequential runner just warms
+    its memo in the same order the loop would have.
+    """
+    points = ExperimentRunner.matrix_points(names, baseline=True)
+    if with_l1:
+        points += [point_of(n, Protocol.NONCOHERENT, Consistency.RC)
+                   for n in names if n in INDEPENDENT_NAMES]
+    runner.prefetch(points)
 
 
 # ---------------------------------------------------------------------------
@@ -65,6 +80,10 @@ def table2(runner: ExperimentRunner) -> ExperimentResult:
             "see DESIGN.md"
         ),
     )
+    runner.prefetch(
+        [point_of(n, Protocol.DISABLED, Consistency.RC)
+         for n in ALL_NAMES]
+        + [point_of(n, Protocol.TC, Consistency.RC) for n in ALL_NAMES])
     for name in ALL_NAMES:
         bl = runner.baseline(name)
         tc = runner.run(name, Protocol.TC, Consistency.RC)
@@ -87,6 +106,7 @@ def fig12(runner: ExperimentRunner) -> ExperimentResult:
         "(higher is better)",
         ["benchmark", "group", "W/L1"] + _BARS,
     )
+    _prefetch_standard(runner, ALL_NAMES, with_l1=True)
     per_bar: dict = {bar: {} for bar in _BARS}
     for name in ALL_NAMES:
         bl = runner.baseline(name)
@@ -135,6 +155,7 @@ def fig13(runner: ExperimentRunner) -> ExperimentResult:
         "(lower is better)",
         ["benchmark", "group"] + _BARS,
     )
+    _prefetch_standard(runner, ALL_NAMES)
     ratios: dict = {bar: [] for bar in _BARS}
     coh_ratios: dict = {bar: [] for bar in _BARS}
     for name in ALL_NAMES:
@@ -173,6 +194,11 @@ def fig14(runner: ExperimentRunner,
         "(normalised to no-L1; flat = insensitive)",
         ["benchmark"] + [f"lease={v}" for v in leases],
     )
+    runner.prefetch(
+        [point_of(n, Protocol.DISABLED, Consistency.RC)
+         for n in COHERENT_NAMES]
+        + [point_of(n, Protocol.GTSC, Consistency.RC, lease=lease)
+           for n in COHERENT_NAMES for lease in leases])
     spreads = []
     for name in COHERENT_NAMES:
         bl = runner.baseline(name)
@@ -203,6 +229,7 @@ def fig15(runner: ExperimentRunner) -> ExperimentResult:
         "NoC traffic normalised to no-L1 baseline (lower is better)",
         ["benchmark", "group"] + _BARS,
     )
+    _prefetch_standard(runner, ALL_NAMES)
     coh: dict = {bar: [] for bar in _BARS}
     for name in ALL_NAMES:
         base = max(1, runner.baseline(name).noc_bytes)
@@ -234,6 +261,7 @@ def fig16(runner: ExperimentRunner) -> ExperimentResult:
         "Total energy normalised to no-L1 baseline (lower is better)",
         ["benchmark", "group"] + _BARS,
     )
+    _prefetch_standard(runner, ALL_NAMES)
     coh: dict = {bar: [] for bar in _BARS}
     for name in ALL_NAMES:
         base = runner.baseline(name).total_energy
@@ -313,6 +341,7 @@ def fig17(runner: ExperimentRunner) -> ExperimentResult:
         "L1 cache energy in joules (BL has no L1 and is zero)",
         ["benchmark", "group"] + _BARS,
     )
+    runner.prefetch(ExperimentRunner.matrix_points(ALL_NAMES))
     for name in ALL_NAMES:
         bars = runner.matrix(name)
         row: List = [name, _group(name)]
@@ -344,6 +373,9 @@ def expiration(runner: ExperimentRunner) -> ExperimentResult:
             "time as fast as physical"
         ),
     )
+    runner.prefetch(
+        [point_of(n, p, Consistency.RC) for n in COHERENT_NAMES
+         for p in (Protocol.TC, Protocol.GTSC)])
     read_mostly = {"BH", "VPR", "BFS"}
     reductions = []
     rm_reductions = []
@@ -505,6 +537,9 @@ def mesi_motivation(runner: ExperimentRunner) -> ExperimentResult:
             "it; the sharing-heavy ones pay the §II-C costs"
         ),
     )
+    runner.prefetch(
+        [point_of(n, p, Consistency.RC) for n in COHERENT_NAMES
+         for p in (Protocol.DISABLED, Protocol.MESI, Protocol.GTSC)])
     perf_ratios = []
     byte_ratios = []
     for name in COHERENT_NAMES:
@@ -591,6 +626,9 @@ def traffic_breakdown(runner: ExperimentRunner) -> ExperimentResult:
         ["benchmark", "gtsc_ctrl", "gtsc_data", "gtsc_renewals",
          "tc_ctrl", "tc_data", "gtsc/tc bytes"],
     )
+    runner.prefetch(
+        [point_of(n, p, Consistency.RC) for n in COHERENT_NAMES
+         for p in (Protocol.GTSC, Protocol.TC)])
     for name in COHERENT_NAMES:
         gtsc = runner.run(name, Protocol.GTSC, Consistency.RC)
         tc = runner.run(name, Protocol.TC, Consistency.RC)
@@ -658,6 +696,11 @@ def ablation_tc_lease(runner: ExperimentRunner,
         "the best lease per benchmark)",
         ["benchmark"] + [f"lease={v}" for v in leases],
     )
+    runner.prefetch(
+        [point_of(n, Protocol.DISABLED, Consistency.RC)
+         for n in COHERENT_NAMES]
+        + [point_of(n, Protocol.GTSC, Consistency.RC, lease=lease)
+           for n in COHERENT_NAMES for lease in leases])
     spreads = []
     for name in workloads:
         cycles = [

@@ -1,0 +1,127 @@
+"""Process-pool execution of independent simulation points.
+
+Every point of an experiment matrix or sweep is an independent,
+deterministic simulation, so a batch of them is embarrassingly
+parallel.  :class:`ParallelRunner` keeps the exact
+:class:`~repro.harness.runner.ExperimentRunner` surface (``run`` /
+``matrix`` / ``baseline`` / ``sweep`` compose unchanged) and overrides
+only :meth:`prefetch`: the points a batch will need are simulated
+concurrently in worker processes, after which the ordinary memoised
+``run`` path finds them already in memory.
+
+Determinism: workers return plain ``RunStats.to_dict()`` payloads and
+the parent rebuilds them with :meth:`RunStats.from_dict`, so results
+are bit-identical to a sequential run — the simulator itself is
+seeded and single-threaded, and result ordering is fixed by the
+point list, never by completion order.
+
+``jobs=1`` short-circuits to the in-process sequential path, which
+keeps the class usable (and debuggable) where ``fork``/``spawn`` is
+unavailable or unwanted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.config import Consistency, Protocol
+from repro.gpu.gpu import GPU
+from repro.harness.runner import ExperimentRunner, Point
+from repro.stats.collector import RunStats
+from repro.workloads import build_workload
+
+
+def _simulate_point(preset: str, scale: float, seed: int,
+                    config_overrides: Tuple, point: Point) -> Dict:
+    """Worker entry: simulate one point, return a picklable payload.
+
+    Top-level (not a closure/method) so it pickles under both the
+    ``fork`` and ``spawn`` start methods.  Reconstructs the config the
+    same way :meth:`ExperimentRunner.base_config` does, so parent and
+    worker agree on every parameter.
+    """
+    from repro.config import GPUConfig
+
+    workload, protocol, consistency, overrides = point
+    factory = getattr(GPUConfig, preset)
+    merged = dict(config_overrides)
+    merged.update(overrides)
+    config = factory(protocol=protocol, consistency=consistency,
+                     **merged)
+    kernel = build_workload(workload, scale=scale, seed=seed)
+    stats = GPU(config, record_accesses=False).run(kernel)
+    return stats.to_dict()
+
+
+class ParallelRunner(ExperimentRunner):
+    """An :class:`ExperimentRunner` that batches points over processes.
+
+    Single points still run in-process; only :meth:`prefetch` (called
+    by ``matrix``, ``sweep`` and the figure functions with their full
+    point sets) fans out.  Cached points — in-memory or on-disk — are
+    filtered before any worker is spawned, so a warm cache costs no
+    processes at all.
+    """
+
+    def __init__(self, jobs: int = 2, preset: str = "small",
+                 scale: float = 0.5, seed: int = 2018,
+                 cache_dir: Optional[str] = None,
+                 **config_overrides) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        super().__init__(preset=preset, scale=scale, seed=seed,
+                         cache_dir=cache_dir, **config_overrides)
+        self.jobs = jobs
+
+    # ------------------------------------------------------------------
+    def _missing(self, points: Iterable[Point]) -> list:
+        """The deduplicated points not satisfiable from any cache."""
+        missing = []
+        seen = set()
+        for point in points:
+            if point in self._cache or point in seen:
+                continue
+            if self.disk_cache is not None:
+                workload, protocol, consistency, overrides = point
+                config = self.base_config(protocol, consistency,
+                                          **dict(overrides))
+                stats = self.disk_cache.get(
+                    self._disk_key(workload, config))
+                if stats is not None:
+                    self._cache[point] = stats
+                    continue
+            seen.add(point)
+            missing.append(point)
+        return missing
+
+    def prefetch(self, points: Iterable[Point]) -> None:
+        """Simulate the uncached points of a batch concurrently."""
+        missing = self._missing(points)
+        if not missing:
+            return
+        if self.jobs == 1 or len(missing) == 1:
+            for workload, protocol, consistency, overrides in missing:
+                self.run(workload, protocol, consistency,
+                         **dict(overrides))
+            return
+
+        from concurrent.futures import ProcessPoolExecutor
+
+        overrides_key = tuple(sorted(self.config_overrides.items()))
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = [
+                pool.submit(_simulate_point, self.preset, self.scale,
+                            self.seed, overrides_key, point)
+                for point in missing
+            ]
+            # iterate in submission order: results land deterministically
+            for point, future in zip(missing, futures):
+                stats = RunStats.from_dict(future.result())
+                self.simulations_run += 1
+                self._cache[point] = stats
+                if self.disk_cache is not None:
+                    workload, protocol, consistency, overrides = point
+                    config = self.base_config(protocol, consistency,
+                                              **dict(overrides))
+                    self.disk_cache.put(
+                        self._disk_key(workload, config), stats)

@@ -4,30 +4,53 @@ An :class:`ExperimentRunner` owns the machine preset, workload scale
 and seed, and memoises finished runs, so experiments that share
 baselines (every figure normalises against the no-L1 BL run) reuse
 them instead of re-simulating.
+
+Two optional accelerators sit on top of the in-memory memo:
+
+* a persistent on-disk cache (``cache_dir=...``) that survives across
+  processes — see :mod:`repro.harness.cache`;
+* a process-pool batch path (:class:`repro.harness.parallel.ParallelRunner`)
+  that overrides :meth:`prefetch` to simulate independent points
+  concurrently.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.config import Consistency, GPUConfig, Protocol
 from repro.gpu.gpu import GPU
+from repro.harness.cache import RunCache, run_key
 from repro.stats.collector import RunStats
 from repro.workloads import build_workload
+
+# one simulation point: (workload, protocol, consistency, overrides)
+Point = Tuple[str, Protocol, Consistency, Tuple]
+
+
+def point_of(workload: str, protocol: Protocol,
+             consistency: Consistency, **overrides) -> Point:
+    """Normalise one simulation point into a hashable key."""
+    return (workload, protocol, consistency,
+            tuple(sorted(overrides.items())))
 
 
 class ExperimentRunner:
     """Runs (workload x configuration) points with memoisation."""
 
     def __init__(self, preset: str = "small", scale: float = 0.5,
-                 seed: int = 2018, **config_overrides) -> None:
+                 seed: int = 2018, cache_dir: Optional[str] = None,
+                 **config_overrides) -> None:
         if preset not in ("small", "paper", "tiny"):
             raise ValueError(f"unknown preset {preset!r}")
         self.preset = preset
         self.scale = scale
         self.seed = seed
         self.config_overrides = dict(config_overrides)
-        self._cache: Dict[Tuple, RunStats] = {}
+        self._cache: Dict[Point, RunStats] = {}
+        self.disk_cache = RunCache(cache_dir) if cache_dir else None
+        #: actual simulations performed (cache hits don't count)
+        self.simulations_run = 0
 
     # ------------------------------------------------------------------
     def base_config(self, protocol: Protocol, consistency: Consistency,
@@ -39,19 +62,45 @@ class ExperimentRunner:
         return factory(protocol=protocol, consistency=consistency,
                        **merged)
 
+    def _disk_key(self, workload: str, config: GPUConfig) -> str:
+        return run_key(config, workload, self.scale, self.seed)
+
+    def _simulate(self, workload: str, config: GPUConfig) -> RunStats:
+        kernel = build_workload(workload, scale=self.scale,
+                                seed=self.seed)
+        self.simulations_run += 1
+        return GPU(config, record_accesses=False).run(kernel)
+
     def run(self, workload: str, protocol: Protocol,
             consistency: Consistency, **overrides) -> RunStats:
         """Simulate one point, memoised on all of its parameters."""
-        key = (workload, protocol, consistency,
-               tuple(sorted(overrides.items())))
+        key = point_of(workload, protocol, consistency, **overrides)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
         config = self.base_config(protocol, consistency, **overrides)
-        kernel = build_workload(workload, scale=self.scale, seed=self.seed)
-        stats = GPU(config, record_accesses=False).run(kernel)
+        stats = None
+        if self.disk_cache is not None:
+            stats = self.disk_cache.get(self._disk_key(workload, config))
+        if stats is None:
+            stats = self._simulate(workload, config)
+            if self.disk_cache is not None:
+                self.disk_cache.put(self._disk_key(workload, config),
+                                    stats)
         self._cache[key] = stats
         return stats
+
+    def prefetch(self, points: Iterable[Point]) -> None:
+        """Warm the memo for a batch of points.
+
+        The base implementation simply runs them sequentially; the
+        parallel runner overrides this to fan the *missing* points out
+        over a process pool.  Callers that know their full set of
+        points up front (matrix, sweep, figure functions) route it
+        through here so that one runner swap parallelises everything.
+        """
+        for workload, protocol, consistency, overrides in points:
+            self.run(workload, protocol, consistency, **dict(overrides))
 
     # -- the runs every figure needs -------------------------------------------
     def baseline(self, workload: str) -> RunStats:
@@ -66,12 +115,28 @@ class ExperimentRunner:
 
     def matrix(self, workload: str) -> Dict[str, RunStats]:
         """The four protocol/consistency bars of Figures 12-16."""
+        self.prefetch(self.matrix_points([workload]))
         return {
             "TC-SC": self.run(workload, Protocol.TC, Consistency.SC),
             "TC-RC": self.run(workload, Protocol.TC, Consistency.RC),
             "G-TSC-SC": self.run(workload, Protocol.GTSC, Consistency.SC),
             "G-TSC-RC": self.run(workload, Protocol.GTSC, Consistency.RC),
         }
+
+    @staticmethod
+    def matrix_points(workloads: Iterable[str],
+                      baseline: bool = False) -> list:
+        """The matrix points (optionally + baseline) for workloads."""
+        points = []
+        for workload in workloads:
+            if baseline:
+                points.append(point_of(workload, Protocol.DISABLED,
+                                       Consistency.RC))
+            for protocol in (Protocol.TC, Protocol.GTSC):
+                for consistency in (Consistency.SC, Consistency.RC):
+                    points.append(point_of(workload, protocol,
+                                           consistency))
+        return points
 
     def with_l1(self, workload: str) -> RunStats:
         """The non-coherent "Baseline W/L1" bar (second group only)."""

@@ -90,6 +90,14 @@ def sweep(runner: ExperimentRunner, workloads: Sequence[str],
                 f"unknown metric {metric!r}; known: {known}") from None
     result = SweepSeries(parameter=parameter, values=list(values),
                          workloads=list(workloads), metric=metric)
+    # hand the full grid to the runner first: a parallel runner
+    # simulates the uncached points concurrently, a sequential one
+    # just warms its memo in order
+    from repro.harness.runner import point_of
+    runner.prefetch([
+        point_of(workload, protocol, consistency, **{parameter: value})
+        for workload in workloads for value in values
+    ])
     for workload in workloads:
         series = []
         for value in values:

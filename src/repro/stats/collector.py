@@ -118,10 +118,11 @@ class RunStats:
         return baseline.cycles / self.cycles
 
     def to_dict(self) -> Dict:
-        """A JSON-ready dump for downstream tooling.
+        """A JSON-ready dump for downstream tooling and the run cache.
 
-        Histograms are summarised (count/mean/p99/max per name) rather
-        than dumped bucket by bucket.
+        Each histogram entry keeps the human-facing summary fields
+        (count/mean/p99/max) and adds the raw buckets so that
+        :meth:`from_dict` restores the exact object.
         """
         return {
             "config": self.config_desc,
@@ -130,15 +131,29 @@ class RunStats:
             "energy_j": dict(self.energy),
             "total_energy_j": self.total_energy,
             "histograms": {
-                name: {
-                    "count": h.count,
-                    "mean": h.mean,
-                    "p99": h.percentile(0.99),
-                    "max": h.max_value,
-                }
+                name: h.to_dict()
                 for name, h in self.histograms.items()
             },
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunStats":
+        """Rebuild a run summary dumped by :meth:`to_dict`.
+
+        The round trip is exact: ``RunStats.from_dict(s.to_dict()) == s``
+        for any run, which is what lets the disk cache substitute a
+        stored result for a fresh simulation.
+        """
+        return cls(
+            config_desc=data["config"],
+            cycles=data["cycles"],
+            counters=dict(data["counters"]),
+            energy={k: float(v) for k, v in data["energy_j"].items()},
+            histograms={
+                name: Histogram.from_dict(name, entry)
+                for name, entry in data["histograms"].items()
+            },
+        )
 
     def summary(self) -> str:
         """Multi-line human-readable digest used by the examples."""

@@ -71,6 +71,45 @@ class Histogram:
         for index in sorted(self._buckets):
             yield self.bucket_range(index), self._buckets[index]
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (self.name == other.name
+                and self._buckets == other._buckets
+                and self.count == other.count
+                and self.total == other.total
+                and self.max_value == other.max_value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Histogram({self.name!r}, n={self.count}, "
+                f"mean={self.mean:.1f}, max={self.max_value})")
+
+    def to_dict(self) -> Dict:
+        """A JSON-ready dump that :meth:`from_dict` restores exactly.
+
+        JSON object keys are strings, so bucket indices are stringified
+        on the way out and parsed back on the way in.
+        """
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p99": self.percentile(0.99) if self.count else 0,
+            "max": self.max_value,
+            "total": self.total,
+            "buckets": {str(i): c for i, c in sorted(self._buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: Dict) -> "Histogram":
+        """Rebuild a histogram summarised by :meth:`to_dict`."""
+        histogram = cls(name)
+        histogram._buckets = {int(i): c
+                              for i, c in data["buckets"].items()}
+        histogram.count = data["count"]
+        histogram.total = data["total"]
+        histogram.max_value = data["max"]
+        return histogram
+
     def render(self, width: int = 40) -> str:
         """An ASCII rendering for examples and reports."""
         if self.count == 0:

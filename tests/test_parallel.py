@@ -1,0 +1,97 @@
+"""Tests for the process-pool experiment runner.
+
+The contract is strict: a parallel batch must produce *bit-identical*
+RunStats to the sequential path — same counters, same energy, same
+histogram buckets — because the figures diff against golden numbers.
+"""
+
+import pytest
+
+from repro.config import Consistency, Protocol
+from repro.harness.parallel import ParallelRunner, _simulate_point
+from repro.harness.runner import ExperimentRunner, point_of
+from repro.stats.collector import RunStats
+
+WORKLOADS = ["BFS", "STN"]
+
+
+def make_sequential(**kwargs):
+    return ExperimentRunner(preset="tiny", scale=0.3, seed=7, **kwargs)
+
+
+def make_parallel(jobs, **kwargs):
+    return ParallelRunner(jobs=jobs, preset="tiny", scale=0.3, seed=7,
+                          **kwargs)
+
+
+def test_worker_payload_rebuilds_to_runstats():
+    point = point_of("BFS", Protocol.GTSC, Consistency.RC)
+    payload = _simulate_point("tiny", 0.3, 7, (), point)
+    stats = RunStats.from_dict(payload)
+    assert stats.cycles > 0
+    assert stats.counter("warps_retired") > 0
+
+
+def test_parallel_matrix_is_bit_identical_to_sequential():
+    sequential = make_sequential()
+    parallel = make_parallel(jobs=2)
+    for workload in WORKLOADS:
+        expected = sequential.matrix(workload)
+        actual = parallel.matrix(workload)
+        assert set(actual) == set(expected)
+        for bar in expected:
+            # dataclass equality covers cycles, every counter, energy
+            # and full histogram contents
+            assert actual[bar] == expected[bar], (workload, bar)
+
+
+def test_jobs_1_runs_in_process():
+    runner = make_parallel(jobs=1)
+    stats = runner.run("BFS", Protocol.GTSC, Consistency.RC)
+    reference = make_sequential().run("BFS", Protocol.GTSC,
+                                      Consistency.RC)
+    assert stats == reference
+    assert runner.simulations_run == 1
+
+
+def test_prefetch_counts_simulations_and_fills_memo():
+    runner = make_parallel(jobs=2)
+    points = ExperimentRunner.matrix_points(WORKLOADS)
+    runner.prefetch(points)
+    assert runner.simulations_run == len(points)
+    # every point is now a memo hit: no further simulations
+    runner.prefetch(points)
+    for workload in WORKLOADS:
+        runner.matrix(workload)
+    assert runner.simulations_run == len(points)
+
+
+def test_parallel_runner_shares_the_disk_cache(tmp_path):
+    cache_dir = str(tmp_path / "runcache")
+    warmup = make_sequential(cache_dir=cache_dir)
+    expected = warmup.matrix("BFS")
+    assert warmup.simulations_run == 4
+
+    warm = make_parallel(jobs=2, cache_dir=cache_dir)
+    actual = warm.matrix("BFS")
+    assert warm.simulations_run == 0        # all four came from disk
+    for bar in expected:
+        assert actual[bar] == expected[bar]
+
+
+def test_invalid_jobs_rejected():
+    with pytest.raises(ValueError):
+        make_parallel(jobs=0)
+
+
+def test_sweep_through_parallel_runner_matches_sequential():
+    from repro.harness.sweeps import sweep
+
+    def run_sweep(runner):
+        return sweep(runner, workloads=["BFS"], parameter="lease",
+                     values=[8, 16], protocol=Protocol.GTSC,
+                     consistency=Consistency.RC)
+
+    expected = run_sweep(make_sequential())
+    actual = run_sweep(make_parallel(jobs=2))
+    assert actual.data == expected.data
