@@ -4,6 +4,8 @@ Subcommands::
 
     gtsc-repro list                       # workloads and experiments
     gtsc-repro simulate BFS --protocol gtsc --consistency rc
+    gtsc-repro trace BFS --out bfs.trace.json   # Perfetto trace + audit
+    gtsc-repro profile BFS KM --jobs 2    # matrix sweep w/ heartbeats
     gtsc-repro run fig12 [fig15 ...]      # regenerate figures
     gtsc-repro run --all
     gtsc-repro report --output EXPERIMENTS.md
@@ -49,19 +51,24 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
                              f"(default: {DEFAULT_CACHE_DIR})")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk run cache")
+    parser.add_argument("--progress", action="store_true",
+                        help="print live heartbeat lines to stderr "
+                             "while a batch simulates")
 
 
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
     if args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
     cache_dir = None if args.no_cache else args.cache_dir
+    progress = getattr(args, "progress", False)
     if args.jobs > 1:
         from repro.harness.parallel import ParallelRunner
         return ParallelRunner(jobs=args.jobs, preset=args.preset,
                               scale=args.scale, seed=args.seed,
-                              cache_dir=cache_dir)
+                              cache_dir=cache_dir, progress=progress)
     return ExperimentRunner(preset=args.preset, scale=args.scale,
-                            seed=args.seed, cache_dir=cache_dir)
+                            seed=args.seed, cache_dir=cache_dir,
+                            progress=progress)
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -99,6 +106,101 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         checked = check_gtsc_log(gpu.machine.log, gpu.machine.versions)
         print(f"\ncoherence: {checked} loads verified against "
               f"timestamp order")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.obs import Observability, replay_audit, \
+        validate_chrome_trace
+    from repro.validate import CoherenceViolation
+
+    config_factory = getattr(GPUConfig, args.preset)
+    config = config_factory(
+        protocol=Protocol(args.protocol),
+        consistency=Consistency(args.consistency),
+        lease=args.lease,
+    )
+    kernel = build_workload(args.workload, scale=args.scale,
+                            seed=args.seed)
+    obs = Observability.full(interval=args.interval,
+                             trace_engine=args.trace_engine)
+    gpu = GPU(config, record_accesses=True, obs=obs)
+    stats = gpu.run(kernel)
+
+    out = args.out or f"{args.workload}.trace.json"
+    trace = obs.tracer.to_chrome()
+    events = validate_chrome_trace(trace)
+    directory = os.path.dirname(out)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(out, "w") as handle:
+        json.dump(trace, handle)
+    print(f"machine: {config.describe()}")
+    print(f"kernel:  {kernel.name}, {stats.cycles} cycles, "
+          f"{stats.counter('instructions')} instructions")
+    print(f"trace:   {out} ({events} events; open in Perfetto or "
+          f"chrome://tracing)")
+    if args.jsonl:
+        obs.tracer.write_jsonl(args.jsonl)
+        print(f"jsonl:   {args.jsonl}")
+    if args.audit_jsonl:
+        obs.audit.write_jsonl(args.audit_jsonl)
+        print(f"audit:   {args.audit_jsonl}")
+
+    try:
+        replayed = replay_audit(obs.audit.records, lease=config.lease)
+    except CoherenceViolation as violation:
+        print(f"audit:   FAILED: {violation}", file=sys.stderr)
+        return 1
+    mix = ", ".join(f"{kind}={count}" for kind, count
+                    in sorted(obs.audit.counts().items()))
+    print(f"audit:   {replayed} transition(s) replayed, "
+          f"0 violations ({mix})")
+    if config.protocol is Protocol.GTSC:
+        loads = check_gtsc_log(gpu.machine.log, gpu.machine.versions)
+        print(f"loads:   {loads} verified against timestamp order")
+    samples = len(obs.metrics.samples)
+    print(f"metrics: {samples} sample(s) at interval "
+          f"{obs.metrics.interval}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    import time
+
+    unknown = [w for w in args.workloads if w not in ALL_NAMES]
+    if unknown:
+        print(f"unknown workloads: {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    workloads = args.workloads or [
+        name for name in ALL_NAMES
+        if WORKLOADS[name].requires_coherence
+    ]
+    runner = _make_runner(args)
+    runner.progress = True  # profiling without a pulse is pointless
+    points = ExperimentRunner.matrix_points(workloads,
+                                            baseline=args.baseline)
+    started = time.monotonic()
+    runner.prefetch(points)
+    elapsed = time.monotonic() - started
+    print(f"\n{'point':40s} {'cycles':>10s}")
+    for point in points:
+        workload, protocol, consistency, overrides = point
+        stats = runner.run(workload, protocol, consistency,
+                           **dict(overrides))
+        label = ExperimentRunner._describe_point(point)
+        print(f"{label:40s} {stats.cycles:>10d}")
+    print(f"\n{len(points)} point(s) in {elapsed:.1f}s "
+          f"({runner.simulations_run} simulated, "
+          f"{len(points) - runner.simulations_run} from cache)")
+    if runner.disk_cache is not None:
+        cache = runner.disk_cache.stats()
+        print(f"disk cache: {cache['hits']} hit(s), "
+              f"{cache['misses']} miss(es)")
     return 0
 
 
@@ -195,6 +297,49 @@ def make_parser() -> argparse.ArgumentParser:
                        help="emit machine-readable statistics")
     _add_runner_args(p_sim)
     p_sim.set_defaults(fn=cmd_simulate)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="simulate one workload with full observability on")
+    p_trace.add_argument("workload", choices=ALL_NAMES)
+    p_trace.add_argument("--protocol", default="gtsc",
+                         choices=[p.value for p in Protocol])
+    p_trace.add_argument("--consistency", default="rc",
+                         choices=[c.value for c in Consistency])
+    p_trace.add_argument("--lease", type=int, default=10)
+    p_trace.add_argument("--preset", default="tiny",
+                         choices=["tiny", "small", "paper"],
+                         help="machine preset (default: tiny — traces "
+                              "buffer every event in memory)")
+    p_trace.add_argument("--scale", type=float, default=0.3,
+                         help="workload scale factor (default: 0.3)")
+    p_trace.add_argument("--seed", type=int, default=2018)
+    p_trace.add_argument("--out", metavar="PATH",
+                         help="Chrome-trace output path "
+                              "(default: <workload>.trace.json)")
+    p_trace.add_argument("--jsonl", metavar="PATH",
+                         help="also write the raw event stream as JSONL")
+    p_trace.add_argument("--audit-jsonl", metavar="PATH",
+                         help="also write the protocol audit log "
+                              "as JSONL")
+    p_trace.add_argument("--interval", type=int, default=500,
+                         help="metrics sampling interval in cycles "
+                              "(default: 500)")
+    p_trace.add_argument("--trace-engine", action="store_true",
+                         help="also trace raw engine event dispatch "
+                              "(verbose)")
+    p_trace.set_defaults(fn=cmd_trace)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run the protocol matrix over workloads with live "
+             "progress and timing/cache summaries")
+    p_prof.add_argument("workloads", nargs="*", metavar="WORKLOAD",
+                        help="benchmarks (default: every coherent one)")
+    p_prof.add_argument("--baseline", action="store_true",
+                        help="include the no-L1 baseline point")
+    _add_runner_args(p_prof)
+    p_prof.set_defaults(fn=cmd_profile)
 
     p_run = sub.add_parser("run", help="regenerate tables/figures")
     p_run.add_argument("experiments", nargs="*",

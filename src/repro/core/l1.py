@@ -97,6 +97,10 @@ class GTSCL1Controller(L1ControllerBase):
         if line is not None and warp.ts <= line.rts:
             self.stats.add("l1_hit")
             warp.ts = max(warp.ts, line.wts)
+            if self.audit is not None:
+                self.audit.record(self.engine.now, "l1_load",
+                                  self.track, addr, line.wts, line.rts,
+                                  warp.ts, self.epoch, warp.uid)
             self._record_load(warp, addr, line.version, self.engine.now,
                               hit=True)
             self._complete(on_done, self.config.l1_latency)
@@ -118,6 +122,9 @@ class GTSCL1Controller(L1ControllerBase):
         if entry is None:
             if self.mshr.full:
                 self.stats.add("l1_mshr_stall")
+                if self.trace is not None:
+                    self.trace.instant(self.engine.now, self.track,
+                                       "mshr_stall", {"addr": addr})
                 return False
             entry = self.mshr.allocate(addr)
         entry.waiters.append(waiter)
@@ -295,6 +302,11 @@ class GTSCL1Controller(L1ControllerBase):
                 line.epoch = self.epoch
         if not stale:
             pending.warp.ts = max(pending.warp.ts, msg.wts)
+            if self.audit is not None:
+                self.audit.record(self.engine.now, "l1_store_ack",
+                                  self.track, msg.addr, msg.wts,
+                                  msg.rts, pending.warp.ts, self.epoch,
+                                  pending.warp.uid)
         logical = pending.warp.ts if stale else msg.wts
         self.stats.hist.add("store_latency",
                             self.engine.now - pending.issue_cycle)
@@ -328,6 +340,11 @@ class GTSCL1Controller(L1ControllerBase):
                 line.epoch = self.epoch
         if not stale:
             pending.warp.ts = max(pending.warp.ts, msg.wts)
+            if self.audit is not None:
+                self.audit.record(self.engine.now, "l1_atomic_ack",
+                                  self.track, msg.addr, msg.wts,
+                                  msg.rts, pending.warp.ts, self.epoch,
+                                  pending.warp.uid)
         logical = pending.warp.ts if stale else msg.wts
         self.stats.hist.add("atomic_latency",
                             self.engine.now - pending.issue_cycle)
@@ -373,8 +390,13 @@ class GTSCL1Controller(L1ControllerBase):
         timestamp) is sent on their behalf — Figure 11's resolution.
         """
         done = self.mshr.drain(addr, keep=lambda w: w.warp.ts > rts)
+        audit = self.audit
         for waiter in done:
             waiter.warp.ts = max(waiter.warp.ts, wts)
+            if audit is not None:
+                audit.record(self.engine.now, "l1_load", self.track,
+                             addr, wts, rts, waiter.warp.ts,
+                             self.epoch, waiter.warp.uid)
             self._record_load(waiter.warp, addr, version,
                               waiter.issue_cycle, hit=False)
             self._complete(waiter.on_done)
@@ -383,6 +405,10 @@ class GTSCL1Controller(L1ControllerBase):
             top_ts = max(w.warp.ts for w in entry.waiters)
             if installed:
                 self.stats.add("l1_renewals")
+                if self.trace is not None:
+                    self.trace.instant(self.engine.now, self.track,
+                                       "renew_request",
+                                       {"addr": addr, "top_ts": top_ts})
                 self._send(BusRd(addr, self.sm_id, wts, top_ts, self.epoch))
             else:
                 self._send(BusRd(addr, self.sm_id, 0, top_ts, self.epoch))
@@ -405,6 +431,12 @@ class GTSCL1Controller(L1ControllerBase):
         for warp in self._warps:
             warp.ts = 1
             warp.epoch = new_epoch
+        if self.audit is not None:
+            self.audit.record(self.engine.now, "l1_epoch_reset",
+                              self.track, 0, 1, 1, 1, new_epoch)
+        if self.trace is not None:
+            self.trace.instant(self.engine.now, self.track,
+                               "epoch_reset", {"epoch": new_epoch})
 
     def flush(self) -> None:
         """Kernel boundary: drop all lines and reset warp clocks."""

@@ -96,13 +96,22 @@ class GTSCL2Bank(L2BankBase):
             line = self.cache.lookup(msg.addr)
             fresh_request = False
             renewal = False
+            warp_ts = 1
             desired = max(line.rts, 1 + self.config.lease)
         line.rts = desired
 
+        if self.audit is not None:
+            self.audit.record(self.engine.now,
+                              "renew" if renewal else "read",
+                              self.track, msg.addr, line.wts, line.rts,
+                              warp_ts, self.domain.epoch)
         if renewal:
             # requester already holds this exact version: extend the
             # lease without resending the data (a G-TSC traffic win)
             self.stats.add("l2_renewals")
+            if self.trace is not None:
+                self.trace.instant(self.engine.now, self.track, "renew",
+                                   {"addr": msg.addr, "rts": line.rts})
             self._reply(msg.sm, BusRnw(msg.addr, msg.sm, line.rts,
                                        self.domain.epoch))
         else:
@@ -125,6 +134,7 @@ class GTSCL2Bank(L2BankBase):
         wts = max(line.rts + 1, warp_ts)
         if self.domain.clamp(wts + self.config.lease) < 0:
             line = self.cache.lookup(msg.addr)
+            warp_ts = 1  # requester's clock is from the retired epoch
             wts = max(line.rts + 1, 1)
         line.wts = wts
         line.rts = wts + self.config.lease
@@ -133,6 +143,10 @@ class GTSCL2Bank(L2BankBase):
         line.renewals = 0  # a write ends the line's read-only streak
         self.machine.versions.record_wts(msg.addr, msg.version, wts,
                                          self.domain.epoch)
+        if self.audit is not None:
+            self.audit.record(self.engine.now, "write", self.track,
+                              msg.addr, line.wts, line.rts, warp_ts,
+                              self.domain.epoch)
         self._reply(msg.sm, BusWrAck(msg.addr, msg.sm, line.wts, line.rts,
                                      self.domain.epoch,
                                      version=msg.version))
@@ -162,6 +176,7 @@ class GTSCL2Bank(L2BankBase):
         if self.domain.clamp(wts + self.config.lease) < 0:
             line = self.cache.lookup(msg.addr)
             old_version = line.version
+            warp_ts = 1
             wts = max(line.rts + 1, 1)
         line.wts = wts
         line.rts = wts + self.config.lease
@@ -170,6 +185,10 @@ class GTSCL2Bank(L2BankBase):
         line.renewals = 0
         self.machine.versions.record_wts(msg.addr, msg.version, wts,
                                          self.domain.epoch)
+        if self.audit is not None:
+            self.audit.record(self.engine.now, "atomic", self.track,
+                              msg.addr, line.wts, line.rts, warp_ts,
+                              self.domain.epoch)
         self._reply(msg.sm, BusAtmAck(msg.addr, msg.sm, line.wts,
                                       line.rts, old_version,
                                       self.domain.epoch,
@@ -193,6 +212,10 @@ class GTSCL2Bank(L2BankBase):
         line.version = self._memory_version(addr)
         line.dirty = False
         line.epoch = self.domain.epoch
+        if self.audit is not None:
+            self.audit.record(self.engine.now, "fill", self.track,
+                              addr, line.wts, line.rts, 0,
+                              self.domain.epoch)
         return line
 
     def _evictable(self, line: CacheLine) -> bool:
@@ -206,6 +229,10 @@ class GTSCL2Bank(L2BankBase):
     def _evict(self, evicted: CacheLine) -> None:
         """Fold the victim's lease into ``mem_ts`` and write back."""
         self.stats.add("l2_evictions")
+        if self.audit is not None:
+            self.audit.record(self.engine.now, "evict", self.track,
+                              evicted.addr, evicted.wts, evicted.rts,
+                              0, self.domain.epoch)
         self.mem_ts = max(self.mem_ts, evicted.rts)
         self._writeback(evicted)
         if self.config.l2_inclusive:
@@ -224,3 +251,10 @@ class GTSCL2Bank(L2BankBase):
             line.rts = self.config.lease
             line.epoch = self.domain.epoch
         self.mem_ts = 1
+        if self.audit is not None:
+            self.audit.record(self.engine.now, "ts_reset", self.track,
+                              0, 1, self.config.lease, 0,
+                              self.domain.epoch)
+        if self.trace is not None:
+            self.trace.instant(self.engine.now, self.track, "ts_reset",
+                               {"epoch": self.domain.epoch})

@@ -33,9 +33,12 @@ class GPU:
 
     def __init__(self, config: GPUConfig,
                  record_accesses: bool = True,
-                 energy_params: Optional[EnergyParams] = None) -> None:
+                 energy_params: Optional[EnergyParams] = None,
+                 obs=None) -> None:
         self.config = config
-        self.machine = Machine(config, record_accesses=record_accesses)
+        self.obs = obs
+        self.machine = Machine(config, record_accesses=record_accesses,
+                               obs=obs)
         build_protocol(self.machine)
         self.sms = [
             SM(sm_id, self.machine, self.machine.l1s[sm_id])
@@ -156,6 +159,10 @@ class GPU:
         stats.counters["noc_latency_sum"] = self.machine.noc.total_latency
         counters = stats.snapshot()
         energy = self._energy.compute(counters, cycles)
+        timeseries = {}
+        if self.obs is not None and self.obs.metrics is not None:
+            self.obs.metrics.finalize(cycles)
+            timeseries = self.obs.metrics.to_dict()
         return RunStats(
             config_desc=f"{name} on {self.config.describe()}",
             cycles=cycles,
@@ -163,6 +170,7 @@ class GPU:
             energy=energy,
             histograms={name: stats.hist.get(name)
                         for name in stats.hist.names()},
+            timeseries=timeseries,
         )
 
 

@@ -20,6 +20,7 @@ from repro.validate.versions import AccessLog, VersionStore
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.timestamps import TimestampDomain
+    from repro.obs import Observability
     from repro.protocols.base import L1ControllerBase, L2BankBase, Message
 
 
@@ -27,7 +28,8 @@ class Machine:
     """Shared hardware context for one simulation."""
 
     def __init__(self, config: GPUConfig,
-                 record_accesses: bool = True) -> None:
+                 record_accesses: bool = True,
+                 obs: Optional["Observability"] = None) -> None:
         self.config = config
         self.engine = Engine()
         self.stats = StatsCollector()
@@ -54,6 +56,12 @@ class Machine:
         self.l1s: List["L1ControllerBase"] = []
         self.l2_banks: List["L2BankBase"] = []
         self.timestamp_domain: Optional["TimestampDomain"] = None
+        # observability bundle (None by default: zero-cost).  Attached
+        # last so the hooks see the fully built NoC/DRAM models; the
+        # controllers read machine.obs at their own construction.
+        self.obs = obs
+        if obs is not None:
+            obs.attach(self)
 
     # -- message routing -------------------------------------------------------
     def send_to_bank(self, sm_id: int, msg: "Message") -> None:

@@ -63,6 +63,9 @@ class SM:
         self._sleep_start: Optional[int] = None
         self._sleep_mem = False
         self.on_warp_done = None            # set by the GPU
+        obs = machine.obs
+        self.trace = obs.tracer if obs is not None else None
+        self.track = f"sm{sm_id}"
 
     # ------------------------------------------------------------------
     # warp lifecycle
@@ -245,12 +248,17 @@ class SM:
         if self._sleep_start is None:
             return
         slept = self.engine.now - self._sleep_start
+        start = self._sleep_start
         self._sleep_start = None
         if slept <= 0:
             return
         self.stats.add("stall_cycles", slept)
         if self._sleep_mem:
             self.stats.add("stall_mem_cycles", slept)
+        if self.trace is not None:
+            self.trace.complete(
+                start, self.engine.now, self.track,
+                "stall_mem" if self._sleep_mem else "stall")
 
     # ------------------------------------------------------------------
     # instruction issue

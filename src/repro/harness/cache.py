@@ -12,8 +12,10 @@ digest of the canonical-JSON key.  The key covers every field of the
 :class:`~repro.config.GPUConfig`, the workload name, scale, seed, and
 ``repro.__version__`` — bumping the package version invalidates every
 entry, which is the coarse-but-safe answer to "the simulator's
-behaviour changed".  Unreadable or corrupt files are treated as misses
-and silently re-simulated (the fresh result overwrites them).
+behaviour changed".  A missing file is an ordinary miss; a file that
+*opens* but cannot be parsed back into a :class:`RunStats` is cache
+rot, reported through :mod:`warnings` with the offending path before
+being re-simulated (the fresh result overwrites it).
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from typing import Dict, Optional
 
 import repro
@@ -82,11 +85,21 @@ class RunCache:
 
     def get(self, key: str) -> Optional[RunStats]:
         """The cached result for ``key``, or None on miss/corruption."""
+        path = self._path(key)
         try:
-            with open(self._path(key)) as handle:
+            handle = open(path)
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            with handle:
                 data = json.load(handle)
             stats = RunStats.from_dict(data)
-        except (OSError, ValueError, KeyError, TypeError):
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            warnings.warn(
+                f"corrupt run-cache entry {path}: "
+                f"{type(error).__name__}: {error}; re-simulating",
+                RuntimeWarning, stacklevel=2)
             self.misses += 1
             return None
         self.hits += 1

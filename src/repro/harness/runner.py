@@ -16,6 +16,8 @@ Two optional accelerators sit on top of the in-memory memo:
 
 from __future__ import annotations
 
+import sys
+import time
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.config import Consistency, GPUConfig, Protocol
@@ -40,7 +42,7 @@ class ExperimentRunner:
 
     def __init__(self, preset: str = "small", scale: float = 0.5,
                  seed: int = 2018, cache_dir: Optional[str] = None,
-                 **config_overrides) -> None:
+                 progress: bool = False, **config_overrides) -> None:
         if preset not in ("small", "paper", "tiny"):
             raise ValueError(f"unknown preset {preset!r}")
         self.preset = preset
@@ -51,6 +53,21 @@ class ExperimentRunner:
         self.disk_cache = RunCache(cache_dir) if cache_dir else None
         #: actual simulations performed (cache hits don't count)
         self.simulations_run = 0
+        #: emit live heartbeat lines to stderr during batch prefetches
+        self.progress = progress
+
+    def _heartbeat(self, message: str) -> None:
+        """One live progress line (stderr, so stdout stays parseable)."""
+        if self.progress:
+            print(f"[repro] {message}", file=sys.stderr, flush=True)
+
+    @staticmethod
+    def _describe_point(point: Point) -> str:
+        workload, protocol, consistency, overrides = point
+        text = f"{workload} {protocol.value}-{consistency.value}"
+        if overrides:
+            text += " " + ",".join(f"{k}={v}" for k, v in overrides)
+        return text
 
     # ------------------------------------------------------------------
     def base_config(self, protocol: Protocol, consistency: Consistency,
@@ -99,8 +116,17 @@ class ExperimentRunner:
         points up front (matrix, sweep, figure functions) route it
         through here so that one runner swap parallelises everything.
         """
-        for workload, protocol, consistency, overrides in points:
+        points = list(points)
+        total = len(points)
+        started = time.monotonic()
+        for index, point in enumerate(points, start=1):
+            workload, protocol, consistency, overrides = point
+            before = self.simulations_run
             self.run(workload, protocol, consistency, **dict(overrides))
+            tag = "ran" if self.simulations_run > before else "cached"
+            self._heartbeat(
+                f"{index}/{total} {self._describe_point(point)} "
+                f"({tag}, {time.monotonic() - started:.1f}s elapsed)")
 
     # -- the runs every figure needs -------------------------------------------
     def baseline(self, workload: str) -> RunStats:

@@ -30,6 +30,8 @@ class DRAMPartition:
         self.service_time = max(1, -(-line_size // bandwidth))
         self.name = name
         self._free_at = 0
+        # observability: set to a repro.obs.Tracer to record accesses
+        self.trace = None
 
     def _schedule(self, done: Callable[[], None]) -> int:
         start = max(self._free_at, self.engine.now)
@@ -42,7 +44,11 @@ class DRAMPartition:
     def read(self, addr: int, done: Callable[[], None]) -> int:
         """Fetch one line; ``done`` fires when data is available at L2."""
         self.stats.add("dram_reads")
-        return self._schedule(done)
+        completion = self._schedule(done)
+        if self.trace is not None:
+            self.trace.complete(self.engine.now, completion, self.name,
+                                "read", {"addr": addr})
+        return completion
 
     def write(self, addr: int) -> None:
         """Write one line back to memory (fire-and-forget for timing)."""

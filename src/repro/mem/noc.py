@@ -45,6 +45,8 @@ class Network:
         # accumulated (latency, messages) for average-latency reporting
         self.total_latency = 0
         self.total_messages = 0
+        # observability: set to a repro.obs.Tracer to record transfers
+        self.trace = None
 
     def _port(self, endpoint: Hashable) -> _Port:
         port = self._ports.get(endpoint)
@@ -80,6 +82,10 @@ class Network:
         latency = arrival - engine.now
         self.total_latency += latency
         self.total_messages += 1
+        if self.trace is not None:
+            self.trace.complete(
+                engine.now, arrival, "noc", f"{kind}:{src}->{dst}",
+                {"bytes": size})
 
         engine.at(arrival, deliver)
         return arrival
@@ -123,6 +129,7 @@ class MeshNetwork:
         self._links: dict = {}
         self.total_latency = 0
         self.total_messages = 0
+        self.trace = None
 
     # -- geometry -------------------------------------------------------------
     def node_of(self, endpoint: Hashable) -> int:
@@ -173,6 +180,10 @@ class MeshNetwork:
         latency = arrival - engine.now
         self.total_latency += latency
         self.total_messages += 1
+        if self.trace is not None:
+            self.trace.complete(
+                engine.now, arrival, "noc", f"{kind}:{src}->{dst}",
+                {"bytes": size, "hops": len(path)})
 
         engine.at(arrival, deliver)
         return arrival

@@ -1,0 +1,267 @@
+"""Protocol audit log: every coherence transition, replayable.
+
+Timestamp protocols fail silently — a wrong ``rts`` does not crash,
+it just lets a stale value be read thousands of cycles later.  The
+audit log captures every transition the G-TSC controllers perform,
+with the exact timestamps assigned, so the run can be *replayed*
+against the paper's equations after the fact:
+
+* L2 writes/atomics assign ``wts = max(rts + 1, warp_ts)`` (Fig. 5)
+  and ``rts = wts + lease``;
+* renewals never change ``wts`` and only grow ``rts`` (Fig. 4);
+* a DRAM fill installs ``wts = mem_ts`` where ``mem_ts`` is the max
+  ``rts`` ever evicted from the bank (Fig. 6) — the non-inclusive-L2
+  safety argument of Section V-C;
+* every lease is well-formed (``1 <= wts <= rts``);
+* L1-side, a completed load satisfies ``wts <= warp_ts <= rts`` and
+  warp logical clocks only move forward within an epoch.
+
+:func:`replay_audit` walks the log with a shadow model of each bank
+(resident leases plus ``mem_ts``) and each SM (warp clocks) and raises
+:class:`repro.validate.CoherenceViolation` on the first record the
+equations cannot explain.  Overflow/kernel resets are handled through
+the ``ts_reset`` / ``l1_epoch_reset`` records and the epoch carried by
+every record.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.validate.checker import CoherenceViolation
+
+#: Record kinds emitted by the L2 banks.
+L2_KINDS = ("read", "renew", "write", "atomic", "fill", "evict",
+            "ts_reset")
+#: Record kinds emitted by the L1 controllers.
+L1_KINDS = ("l1_load", "l1_store_ack", "l1_atomic_ack",
+            "l1_epoch_reset")
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One coherence transition.
+
+    ``unit`` is the component that performed it (``l2b3``, ``sm0``);
+    ``warp_ts`` is the requester's logical clock as used by the
+    transition (or the warp clock after the bump, for L1 records);
+    ``warp`` is the warp uid for L1 records, -1 for bank records.
+    """
+
+    cycle: int
+    kind: str
+    unit: str
+    addr: int
+    wts: int
+    rts: int
+    warp_ts: int
+    epoch: int
+    warp: int = -1
+
+
+class ProtocolAuditLog:
+    """Append-only sequence of :class:`AuditRecord`."""
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: List[AuditRecord] = []
+
+    def record(self, cycle: int, kind: str, unit: str, addr: int,
+               wts: int, rts: int, warp_ts: int, epoch: int,
+               warp: int = -1) -> None:
+        self.records.append(AuditRecord(cycle, kind, unit, addr, wts,
+                                        rts, warp_ts, epoch, warp))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def counts(self) -> Dict[str, int]:
+        """Record count per kind (for summaries and tests)."""
+        out: Dict[str, int] = {}
+        for rec in self.records:
+            out[rec.kind] = out.get(rec.kind, 0) + 1
+        return out
+
+    def iter_jsonl(self) -> Iterator[str]:
+        for rec in self.records:
+            yield json.dumps(rec.__dict__, sort_keys=True,
+                             separators=(",", ":"))
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            for line in self.iter_jsonl():
+                handle.write(line + "\n")
+
+
+# ---------------------------------------------------------------------------
+# replay checker
+# ---------------------------------------------------------------------------
+
+class _BankShadow:
+    """What the replay knows about one L2 bank.
+
+    ``lines`` maps a resident address to its last known ``(wts, rts)``;
+    addresses absent from the map are in an *unknown* state (never
+    observed since the last reset), for which only the record-local
+    invariants are enforced.
+    """
+
+    __slots__ = ("epoch", "mem_ts", "lines")
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.mem_ts = 1
+        self.lines: Dict[int, Tuple[int, int]] = {}
+
+    def reset(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.mem_ts = 1
+        self.lines.clear()
+
+
+class _SMShadow:
+    """Per-SM replay state: each warp's last seen logical clock."""
+
+    __slots__ = ("epoch", "warp_ts")
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.warp_ts: Dict[int, int] = {}
+
+    def reset(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.warp_ts.clear()
+
+
+def _fail(rec: AuditRecord, index: int, why: str) -> None:
+    raise CoherenceViolation(
+        f"audit record {index} ({rec.kind} {rec.unit} "
+        f"addr={rec.addr:#x} cycle={rec.cycle}): {why} "
+        f"[wts={rec.wts} rts={rec.rts} warp_ts={rec.warp_ts} "
+        f"epoch={rec.epoch}]")
+
+
+def replay_audit(records: List[AuditRecord], lease: int) -> int:
+    """Replay an audit log against the G-TSC timestamp invariants.
+
+    ``lease`` is the configured base lease (``GPUConfig.lease``); the
+    write and fill paths always extend by exactly this much, so those
+    records are checked for equality, while read-side renewals (which
+    may use the adaptive-lease extension) are only required to be
+    monotone.  Returns the number of records checked; raises
+    :class:`CoherenceViolation` on the first inconsistency.
+    """
+    banks: Dict[str, _BankShadow] = {}
+    sms: Dict[str, _SMShadow] = {}
+    last_cycle = 0
+
+    for index, rec in enumerate(records):
+        if rec.cycle < last_cycle:
+            _fail(rec, index, f"cycle moved backwards "
+                              f"(previous record at {last_cycle})")
+        last_cycle = rec.cycle
+
+        if rec.kind in L2_KINDS:
+            _replay_bank(banks, rec, index, lease)
+        elif rec.kind in L1_KINDS:
+            _replay_sm(sms, rec, index)
+        else:
+            _fail(rec, index, "unknown record kind")
+    return len(records)
+
+
+def _replay_bank(banks: Dict[str, _BankShadow], rec: AuditRecord,
+                 index: int, lease: int) -> None:
+    shadow = banks.get(rec.unit)
+    if shadow is None:
+        shadow = banks[rec.unit] = _BankShadow(rec.epoch)
+
+    if rec.kind == "ts_reset":
+        if rec.epoch < shadow.epoch:
+            _fail(rec, index, f"epoch moved backwards "
+                              f"(bank was at {shadow.epoch})")
+        shadow.reset(rec.epoch)
+        return
+    if rec.epoch < shadow.epoch:
+        _fail(rec, index, f"epoch moved backwards "
+                          f"(bank was at {shadow.epoch})")
+    if rec.epoch > shadow.epoch:
+        # reset observed only through the epoch field (defensive; the
+        # banks also emit ts_reset records)
+        shadow.reset(rec.epoch)
+
+    if not 1 <= rec.wts <= rec.rts:
+        _fail(rec, index, "malformed lease (need 1 <= wts <= rts)")
+
+    prev = shadow.lines.get(rec.addr)
+    if rec.kind == "fill":
+        if rec.wts != shadow.mem_ts:
+            _fail(rec, index, f"fill wts must equal mem_ts "
+                              f"({shadow.mem_ts}) — Fig. 6 violated")
+        if rec.rts != rec.wts + lease:
+            _fail(rec, index, f"fill lease must be wts + {lease}")
+        shadow.lines[rec.addr] = (rec.wts, rec.rts)
+    elif rec.kind == "evict":
+        shadow.mem_ts = max(shadow.mem_ts, rec.rts)
+        shadow.lines.pop(rec.addr, None)
+    elif rec.kind in ("write", "atomic"):
+        if rec.rts != rec.wts + lease:
+            _fail(rec, index, f"write lease must be wts + {lease}")
+        if rec.wts < rec.warp_ts:
+            _fail(rec, index, "write scheduled before the writer's "
+                              "logical clock")
+        if prev is not None:
+            expected = max(prev[1] + 1, rec.warp_ts)
+            if rec.wts != expected:
+                _fail(rec, index,
+                      f"write wts {rec.wts} != max(rts + 1, warp_ts) "
+                      f"= {expected} (Fig. 5 violated, prev lease "
+                      f"wts={prev[0]} rts={prev[1]})")
+        shadow.lines[rec.addr] = (rec.wts, rec.rts)
+    elif rec.kind in ("read", "renew"):
+        if rec.rts < rec.warp_ts:
+            _fail(rec, index, "granted lease ends before the "
+                              "requester's logical clock")
+        if prev is not None:
+            if rec.wts != prev[0]:
+                _fail(rec, index, f"read changed wts "
+                                  f"({prev[0]} -> {rec.wts})")
+            if rec.rts < prev[1]:
+                _fail(rec, index, f"read shrank rts "
+                                  f"({prev[1]} -> {rec.rts})")
+        shadow.lines[rec.addr] = (rec.wts, rec.rts)
+
+
+def _replay_sm(sms: Dict[str, _SMShadow], rec: AuditRecord,
+               index: int) -> None:
+    shadow = sms.get(rec.unit)
+    if shadow is None:
+        shadow = sms[rec.unit] = _SMShadow(rec.epoch)
+
+    if rec.kind == "l1_epoch_reset":
+        if rec.epoch < shadow.epoch:
+            _fail(rec, index, f"epoch moved backwards "
+                              f"(SM was at {shadow.epoch})")
+        shadow.reset(rec.epoch)
+        return
+    if rec.epoch < shadow.epoch:
+        _fail(rec, index, f"epoch moved backwards "
+                          f"(SM was at {shadow.epoch})")
+    if rec.epoch > shadow.epoch:
+        shadow.reset(rec.epoch)
+
+    if not 1 <= rec.wts <= rec.rts:
+        _fail(rec, index, "malformed lease (need 1 <= wts <= rts)")
+    if rec.warp_ts < rec.wts:
+        _fail(rec, index, "warp clock behind the version it observed")
+    if rec.kind == "l1_load" and rec.warp_ts > rec.rts:
+        _fail(rec, index, "load completed outside its lease "
+                          "(warp_ts > rts)")
+    seen = shadow.warp_ts.get(rec.warp, 0)
+    if rec.warp_ts < seen:
+        _fail(rec, index, f"warp {rec.warp} logical clock moved "
+                          f"backwards ({seen} -> {rec.warp_ts})")
+    shadow.warp_ts[rec.warp] = rec.warp_ts

@@ -1,0 +1,148 @@
+"""Time-series metrics sampled during a run.
+
+`StatsCollector` answers *how much*; this registry answers *when*.  It
+samples a chosen set of counters — plus arbitrary gauges (callables
+probed at sample time, e.g. live MSHR occupancy) — every ``interval``
+cycles into rows of a time-series that ships inside ``RunStats``.
+
+Sampling is driven by the engine's dispatch hook rather than by
+scheduled events: injecting sampler events into the heap would extend
+``engine.now`` past the real end of the kernel and perturb the very
+statistics being observed.  Riding the dispatch stream costs nothing
+when no events fire (idle regions are skipped, like the engine itself
+skips them) and guarantees the simulated timing is bit-identical with
+and without metrics enabled.
+
+Because the engine jumps over idle cycles, a sample lands on the first
+event *at or after* each interval boundary; rows therefore carry their
+actual cycle, and consumers derive rates from cycle deltas, not from
+the nominal interval (see :meth:`MetricsRegistry.derived`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Counters sampled when the caller does not choose their own set —
+#: the mix behind the paper's main figures: progress (IPC), the L1
+#: hit/renew/miss split, NoC pressure, and the TC write-stall contrast.
+DEFAULT_COUNTERS = (
+    "instructions",
+    "l1_access",
+    "l1_hit",
+    "l1_miss",
+    "l1_renewals",
+    "stall_mem_cycles",
+    "noc_bytes",
+    "noc_messages",
+    "dram_reads",
+    "l2_write_stall_cycles",
+)
+
+
+class MetricsRegistry:
+    """Samples counters and gauges into a cycle-indexed time-series."""
+
+    __slots__ = ("interval", "tracked", "gauges", "samples", "stats",
+                 "tracer", "_next")
+
+    def __init__(self, interval: int = 1000,
+                 counters: Optional[List[str]] = None) -> None:
+        if interval < 1:
+            raise ValueError("sampling interval must be >= 1 cycle")
+        self.interval = interval
+        self.tracked: List[str] = list(counters if counters is not None
+                                       else DEFAULT_COUNTERS)
+        self.gauges: Dict[str, Callable[[], int]] = {}
+        self.samples: List[Dict[str, int]] = []
+        self.stats = None
+        self.tracer = None
+        self._next = interval
+
+    def bind(self, stats, tracer=None) -> None:
+        """Attach to a run's collector (done by ``Observability``)."""
+        self.stats = stats
+        self.tracer = tracer
+
+    def add_gauge(self, name: str, probe: Callable[[], int]) -> None:
+        """Register a live value sampled alongside the counters."""
+        self.gauges[name] = probe
+
+    # ------------------------------------------------------------------
+    # sampling (called from the engine dispatch hook)
+    # ------------------------------------------------------------------
+    def on_cycle(self, now: int) -> None:
+        if now >= self._next:
+            self._sample(now)
+            self._next = now - now % self.interval + self.interval
+
+    def finalize(self, now: int) -> None:
+        """Take a closing sample so the series covers the whole run."""
+        if self.stats is None:
+            return
+        if not self.samples or now > self.samples[-1]["cycle"]:
+            self._sample(now)
+
+    def _sample(self, now: int) -> None:
+        counters = self.stats.counters
+        row: Dict[str, int] = {"cycle": now}
+        for name in self.tracked:
+            row[name] = counters[name]
+        for name, probe in self.gauges.items():
+            row[name] = probe()
+        self.samples.append(row)
+        tracer = self.tracer
+        if tracer is not None:
+            for name, value in row.items():
+                if name != "cycle":
+                    tracer.counter(now, "metrics", name, value)
+
+    # ------------------------------------------------------------------
+    # consumption
+    # ------------------------------------------------------------------
+    def series(self, name: str) -> List[Tuple[int, int]]:
+        """``(cycle, value)`` points of one sampled column."""
+        return [(row["cycle"], row[name]) for row in self.samples
+                if name in row]
+
+    def derived(self) -> Dict[str, List[Tuple[int, float]]]:
+        """Per-window rates computed from the cumulative samples.
+
+        Each point is stamped with the window's *end* cycle:
+
+        * ``ipc`` — instructions retired per cycle;
+        * ``l1_hit_rate`` / ``l1_renew_rate`` — fraction of the
+          window's L1 accesses that hit / were data-less renewals;
+        * ``noc_bytes_per_cycle`` — NoC occupancy proxy.
+        """
+        out: Dict[str, List[Tuple[int, float]]] = {
+            "ipc": [], "l1_hit_rate": [], "l1_renew_rate": [],
+            "noc_bytes_per_cycle": [],
+        }
+        for prev, row in zip(self.samples, self.samples[1:]):
+            dcycles = row["cycle"] - prev["cycle"]
+            if dcycles <= 0:
+                continue
+            cycle = row["cycle"]
+
+            def delta(name: str) -> int:
+                return row.get(name, 0) - prev.get(name, 0)
+
+            out["ipc"].append((cycle, delta("instructions") / dcycles))
+            accesses = delta("l1_access")
+            if accesses:
+                out["l1_hit_rate"].append(
+                    (cycle, delta("l1_hit") / accesses))
+                out["l1_renew_rate"].append(
+                    (cycle, delta("l1_renewals") / accesses))
+            out["noc_bytes_per_cycle"].append(
+                (cycle, delta("noc_bytes") / dcycles))
+        return out
+
+    def to_dict(self) -> Dict:
+        """JSON-ready dump carried in ``RunStats.timeseries``."""
+        return {
+            "interval": self.interval,
+            "columns": self.tracked + sorted(self.gauges),
+            "samples": [dict(row) for row in self.samples],
+        }

@@ -1,0 +1,77 @@
+"""Chrome trace-event-format schema validation.
+
+A trace that `chrome://tracing` or Perfetto rejects fails silently (a
+blank page), so the exporter is checked in-process instead: the subset
+of the trace-event format this repo emits is encoded here as a plain
+validator, and the CLI and tests run every produced trace through it.
+
+Reference: the "Trace Event Format" document (the JSON Array/Object
+formats); we emit the Object format with ``traceEvents`` plus the
+phases M (metadata), X (complete), i (instant) and C (counter).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: phase -> extra required fields beyond the common set
+_PHASE_FIELDS: Dict[str, List[str]] = {
+    "M": ["args"],          # metadata (process_name / thread_name)
+    "X": ["dur"],           # complete event
+    "i": ["s"],             # instant event (scope)
+    "C": ["args"],          # counter event
+}
+
+_COMMON_FIELDS = ("name", "ph", "pid", "tid")
+
+
+def validate_chrome_trace(trace: Dict) -> int:
+    """Check a trace object against the event-format schema.
+
+    Returns the number of events validated; raises :class:`ValueError`
+    describing the first offending event otherwise.
+    """
+    if not isinstance(trace, dict):
+        raise ValueError("trace must be a JSON object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace must carry a 'traceEvents' array")
+
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where}: not an object")
+        phase = event.get("ph")
+        if phase not in _PHASE_FIELDS:
+            raise ValueError(f"{where}: unsupported phase {phase!r}")
+        for key in _COMMON_FIELDS:
+            if key not in event:
+                raise ValueError(f"{where}: missing field {key!r}")
+        if not isinstance(event["name"], str) or not event["name"]:
+            raise ValueError(f"{where}: 'name' must be a non-empty "
+                             f"string")
+        for key in ("pid", "tid"):
+            if not isinstance(event[key], int):
+                raise ValueError(f"{where}: {key!r} must be an integer")
+        if phase != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)):
+                raise ValueError(f"{where}: non-metadata events need a "
+                                 f"numeric 'ts'")
+        for key in _PHASE_FIELDS[phase]:
+            if key not in event:
+                raise ValueError(f"{where}: phase {phase!r} requires "
+                                 f"field {key!r}")
+        if phase == "X" and not isinstance(event["dur"], (int, float)):
+            raise ValueError(f"{where}: 'dur' must be numeric")
+        if phase == "i" and event["s"] not in ("g", "p", "t"):
+            raise ValueError(f"{where}: instant scope must be one of "
+                             f"g/p/t")
+        if phase in ("M", "C") and not isinstance(event["args"], dict):
+            raise ValueError(f"{where}: 'args' must be an object")
+        if phase == "C":
+            for value in event["args"].values():
+                if not isinstance(value, (int, float)):
+                    raise ValueError(f"{where}: counter values must "
+                                     f"be numeric")
+    return len(events)

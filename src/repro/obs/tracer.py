@@ -1,0 +1,171 @@
+"""Structured event tracing.
+
+The tracer records what the counters cannot: *when* things happened.
+Every record is a compact tuple appended to one in-memory list, so the
+recording cost at an instrumentation point is a single method call and
+a list append — and when tracing is disabled (the default) the
+instrumentation points hold a ``None`` reference and skip even that,
+which is what keeps default runs bit-identical and within noise of the
+pre-observability simulator.
+
+Three event shapes cover everything the simulator wants to say:
+
+* **instant** — a point event (a renewal request, an epoch reset, a
+  ``warp_ts`` jump at an acquire);
+* **complete** — a closed interval (a load from issue to completion, an
+  SM memory-stall window, a TC write stall, a NoC transfer);
+* **counter** — a sampled value (IPC, MSHR occupancy) drawn as a
+  time-series track.
+
+Tracks are plain strings (``"sm0"``, ``"l2b1"``, ``"noc"``,
+``"dram0"``, ``"engine"``); the exporters map them to Chrome-trace
+thread ids.  Export formats:
+
+* :meth:`Tracer.to_chrome` — the Chrome/Perfetto ``traceEvents`` JSON
+  (load the file in ``chrome://tracing`` or https://ui.perfetto.dev);
+* :meth:`Tracer.iter_jsonl` — one compact JSON object per event, for
+  streaming consumers and diff-able golden files.
+
+Cycle counts are emitted as microsecond timestamps (1 cycle = 1 us),
+which keeps Perfetto's zoom ruler meaningful for cycle-level traces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+# event record: (phase, start_cycle, dur_or_value, track, name, args)
+#   phase "i": instant   — dur_or_value is None
+#   phase "X": complete  — dur_or_value is the duration in cycles
+#   phase "C": counter   — dur_or_value is the sampled value
+TraceEvent = Tuple[str, int, Optional[int], str, str, Optional[Dict]]
+
+#: Chrome trace-event-format phases this tracer emits.
+PHASES = ("i", "X", "C", "M")
+
+
+class Tracer:
+    """An append-only structured event recorder.
+
+    ``trace_engine=True`` additionally records one instant per fired
+    engine event (the raw dispatch stream) — exhaustive but enormous;
+    off by default even when tracing is on.
+    """
+
+    __slots__ = ("events", "trace_engine")
+
+    def __init__(self, trace_engine: bool = False) -> None:
+        self.events: List[TraceEvent] = []
+        self.trace_engine = trace_engine
+
+    # ------------------------------------------------------------------
+    # recording primitives (hot path: one append each)
+    # ------------------------------------------------------------------
+    def instant(self, cycle: int, track: str, name: str,
+                args: Optional[Dict] = None) -> None:
+        """A point event at ``cycle`` on ``track``."""
+        self.events.append(("i", cycle, None, track, name, args))
+
+    def complete(self, start: int, end: int, track: str, name: str,
+                 args: Optional[Dict] = None) -> None:
+        """A closed ``[start, end]`` interval on ``track``."""
+        self.events.append(("X", start, end - start, track, name, args))
+
+    def counter(self, cycle: int, track: str, name: str,
+                value: int) -> None:
+        """A sampled counter value, drawn as a time-series track."""
+        self.events.append(("C", cycle, value, track, name, None))
+
+    def engine_event(self, cycle: int, callback: Any) -> None:
+        """One fired engine event (only with ``trace_engine``)."""
+        name = getattr(callback, "__qualname__", None) \
+            or getattr(callback, "__name__", repr(callback))
+        self.events.append(("i", cycle, None, "engine", name, None))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    # export: Chrome trace (Perfetto-loadable)
+    # ------------------------------------------------------------------
+    def _tids(self) -> Dict[str, int]:
+        """Stable track -> tid mapping (sorted for determinism)."""
+        tracks = sorted({event[3] for event in self.events})
+        return {track: tid for tid, track in enumerate(tracks)}
+
+    def to_chrome(self) -> Dict:
+        """The trace as a Chrome trace-event-format object.
+
+        One process (pid 0, the simulated GPU) with one named thread
+        per track.  The result satisfies
+        :func:`repro.obs.schema.validate_chrome_trace` and loads in
+        ``chrome://tracing`` and the Perfetto UI unchanged.
+        """
+        tids = self._tids()
+        trace_events: List[Dict] = [
+            {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+             "args": {"name": "gtsc-repro GPU"}},
+        ]
+        for track, tid in tids.items():
+            trace_events.append(
+                {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+                 "args": {"name": track}})
+        for phase, start, extra, track, name, args in self.events:
+            event: Dict = {"name": name, "ph": phase, "ts": start,
+                           "pid": 0, "tid": tids[track],
+                           "cat": track}
+            if phase == "X":
+                event["dur"] = extra
+            elif phase == "C":
+                event["args"] = {"value": extra}
+            elif phase == "i":
+                event["s"] = "t"  # thread-scoped instant
+            if args and phase != "C":
+                event["args"] = args
+            trace_events.append(event)
+        return {"traceEvents": trace_events, "displayTimeUnit": "ns"}
+
+    def write_chrome(self, path: str) -> None:
+        """Write the Chrome-trace JSON file."""
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome(), handle)
+
+    # ------------------------------------------------------------------
+    # export: compact JSONL stream
+    # ------------------------------------------------------------------
+    def iter_jsonl(self) -> Iterator[str]:
+        """Yield one compact JSON line per recorded event."""
+        for phase, start, extra, track, name, args in self.events:
+            record: Dict = {"ph": phase, "ts": start, "track": track,
+                            "name": name}
+            if extra is not None:
+                record["dur" if phase == "X" else "value"] = extra
+            if args:
+                record["args"] = args
+            yield json.dumps(record, sort_keys=True,
+                             separators=(",", ":"))
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            for line in self.iter_jsonl():
+                handle.write(line + "\n")
+
+    @staticmethod
+    def read_jsonl(path: str) -> List[TraceEvent]:
+        """Parse a JSONL stream back into event tuples.
+
+        The round trip is exact: for any tracer ``t``,
+        ``read_jsonl`` of ``t.write_jsonl`` output equals ``t.events``
+        (with ``args`` dicts compared by value).
+        """
+        events: List[TraceEvent] = []
+        with open(path) as handle:
+            for line in handle:
+                record = json.loads(line)
+                phase = record["ph"]
+                extra = record.get("dur" if phase == "X" else "value")
+                events.append((phase, record["ts"], extra,
+                               record["track"], record["name"],
+                               record.get("args")))
+        return events

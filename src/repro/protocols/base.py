@@ -128,7 +128,8 @@ class L1ControllerBase:
     through the ``on_done`` callback.
     """
 
-    __slots__ = ("sm_id", "machine", "config", "engine", "stats", "mshr")
+    __slots__ = ("sm_id", "machine", "config", "engine", "stats", "mshr",
+                 "trace", "audit", "track")
 
     def __init__(self, sm_id: int, machine: "Machine") -> None:
         self.sm_id = sm_id
@@ -137,6 +138,12 @@ class L1ControllerBase:
         self.engine = machine.engine
         self.stats = machine.stats
         self.mshr = MSHRTable(machine.config.l1_mshr_entries)
+        # observability refs, cached once; None keeps the hot paths to
+        # a single identity check per instrumentation point
+        obs = machine.obs
+        self.trace = obs.tracer if obs is not None else None
+        self.audit = obs.audit if obs is not None else None
+        self.track = f"sm{sm_id}"
 
     # -- SM-facing interface ---------------------------------------------------
     def load(self, warp: "Warp", addr: int,
@@ -185,7 +192,8 @@ class L2BankBase:
     """
 
     __slots__ = ("bank_id", "machine", "config", "engine", "stats",
-                 "cache", "mshr", "dram", "_ready_at")
+                 "cache", "mshr", "dram", "_ready_at",
+                 "trace", "audit", "track")
 
     def __init__(self, bank_id: int, machine: "Machine") -> None:
         self.bank_id = bank_id
@@ -198,6 +206,10 @@ class L2BankBase:
         self.mshr = MSHRTable(machine.config.l2_mshr_entries)
         self.dram = machine.drams[bank_id]
         self._ready_at = 0
+        obs = machine.obs
+        self.trace = obs.tracer if obs is not None else None
+        self.audit = obs.audit if obs is not None else None
+        self.track = f"l2b{bank_id}"
 
     # -- arrival / pipeline --------------------------------------------------
     def receive(self, msg: Message) -> None:

@@ -466,6 +466,11 @@ class MESIL2Bank(L2BankBase):
         targets.discard(msg.sm)
         if targets:
             self.stats.add("dir_invalidations", len(targets))
+            if self.trace is not None:
+                self.trace.instant(self.engine.now, self.track,
+                                   "invalidate",
+                                   {"addr": msg.addr,
+                                    "sharers": len(targets)})
             entry.pending_acks = len(targets)
             entry.grant = msg
             for sm in targets:
@@ -477,6 +482,10 @@ class MESIL2Bank(L2BankBase):
                          line: CacheLine) -> None:
         entry.sharers = set()
         entry.owner = msg.sm
+        if self.trace is not None:
+            self.trace.instant(self.engine.now, self.track,
+                               "grant_ownership",
+                               {"addr": msg.addr, "owner": msg.sm})
         # ownership hands the current data to the writer; the L2 copy
         # is stale from here until the writeback
         self._reply(msg.sm, DataM(msg.addr, msg.sm, line.version))
@@ -484,6 +493,10 @@ class MESIL2Bank(L2BankBase):
 
     def _recall_owner(self, entry: _DirEntry, msg: Message) -> None:
         self.stats.add("dir_recalls")
+        if self.trace is not None:
+            self.trace.instant(self.engine.now, self.track, "recall",
+                               {"addr": msg.addr,
+                                "owner": entry.owner})
         entry.await_owner_data = True
         entry.grant = msg
         self._reply(entry.owner, Inv(msg.addr, entry.owner))

@@ -225,6 +225,11 @@ class TCL1Controller(L1ControllerBase):
             # still consume it, but the line cannot be cached — the
             # next access will miss again (the cost of a short lease)
             self.stats.add("l1_dead_on_arrival")
+            if self.trace is not None:
+                self.trace.instant(self.engine.now, self.track,
+                                   "dead_on_arrival",
+                                   {"addr": msg.addr,
+                                    "expiry": msg.expiry})
         else:
             line, _evicted = self.cache.allocate(msg.addr)
             if line is not None:
@@ -356,6 +361,9 @@ class TCL2Bank(L2BankBase):
             # TC-Strong: wait for every outstanding lease to expire
             self.stats.add("l2_write_stalls")
             self.stats.add("l2_write_stall_cycles", line.expiry - now)
+            if self.trace is not None:
+                self.trace.complete(now, line.expiry, self.track,
+                                    "write_stall", {"addr": msg.addr})
             self._blocked[msg.addr] = deque()
             self.engine.at(line.expiry, self._perform_blocked_write, msg)
             return
@@ -398,6 +406,9 @@ class TCL2Bank(L2BankBase):
         if self.strong and now < line.expiry:
             self.stats.add("l2_write_stalls")
             self.stats.add("l2_write_stall_cycles", line.expiry - now)
+            if self.trace is not None:
+                self.trace.complete(now, line.expiry, self.track,
+                                    "atomic_stall", {"addr": msg.addr})
             self._blocked[msg.addr] = deque()
             self.engine.at(line.expiry, self._perform_blocked_atomic, msg)
             return

@@ -46,6 +46,11 @@ class Engine:
         self.events_fired = 0
         self._cancelled = 0         # total ever cancelled
         self._stale = 0             # cancelled entries still in the heap
+        # observability: called as hook(time, callback) for every event
+        # fired.  Must not schedule or cancel anything — it observes the
+        # dispatch stream (metrics sampling, engine tracing) without
+        # perturbing it.
+        self.hook: Optional[Callable[[int, Callable], None]] = None
 
     def schedule(self, delay: int, callback: Callable[..., None],
                  *args: Any) -> EventHandle:
@@ -109,6 +114,8 @@ class Engine:
             event[2] = None
             self.now = event[0]
             self.events_fired += 1
+            if self.hook is not None:
+                self.hook(event[0], callback)
             callback(*event[3])
             return True
         return False
@@ -123,6 +130,20 @@ class Engine:
         """
         heap = self._heap
         if until is None and max_events is None:
+            hook = self.hook
+            if hook is not None:
+                while heap:
+                    event = heappop(heap)
+                    callback = event[2]
+                    if callback is None:
+                        self._stale -= 1
+                        continue
+                    event[2] = None
+                    self.now = event[0]
+                    self.events_fired += 1
+                    hook(event[0], callback)
+                    callback(*event[3])
+                return self.now
             # hot path: no bound checks inside the loop
             while heap:
                 event = heappop(heap)
@@ -156,6 +177,8 @@ class Engine:
             self.now = time
             self.events_fired += 1
             fired += 1
+            if self.hook is not None:
+                self.hook(time, callback)
             callback(*event[3])
         return self.now
 

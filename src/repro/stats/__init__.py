@@ -1,5 +1,8 @@
 """Statistics collection for simulation runs."""
 
 from repro.stats.collector import RunStats, StatsCollector
+from repro.stats.names import (COUNTERS, HISTOGRAMS, is_registered,
+                               unregistered)
 
-__all__ = ["RunStats", "StatsCollector"]
+__all__ = ["COUNTERS", "HISTOGRAMS", "RunStats", "StatsCollector",
+           "is_registered", "unregistered"]

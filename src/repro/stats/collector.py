@@ -80,6 +80,11 @@ class RunStats:
     counters: Dict[str, int] = field(default_factory=dict)
     energy: Dict[str, float] = field(default_factory=dict)
     histograms: Dict[str, Histogram] = field(default_factory=dict)
+    # sampled time-series from repro.obs.MetricsRegistry.to_dict();
+    # empty (and omitted from to_dict) unless the run was built with
+    # an Observability bundle, so default runs serialize byte-identical
+    # to builds that predate the observability layer
+    timeseries: Dict = field(default_factory=dict)
 
     @property
     def total_energy(self) -> float:
@@ -124,7 +129,7 @@ class RunStats:
         (count/mean/p99/max) and adds the raw buckets so that
         :meth:`from_dict` restores the exact object.
         """
-        return {
+        data = {
             "config": self.config_desc,
             "cycles": self.cycles,
             "counters": dict(self.counters),
@@ -135,6 +140,9 @@ class RunStats:
                 for name, h in self.histograms.items()
             },
         }
+        if self.timeseries:
+            data["timeseries"] = self.timeseries
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "RunStats":
@@ -153,6 +161,7 @@ class RunStats:
                 name: Histogram.from_dict(name, entry)
                 for name, entry in data["histograms"].items()
             },
+            timeseries=data.get("timeseries", {}),
         )
 
     def summary(self) -> str:

@@ -1,0 +1,118 @@
+"""End-to-end observability guarantees.
+
+The central contract: observability is *passive*.  A run with the full
+bundle enabled must produce byte-identical statistics (minus the
+time-series it adds) to a run without it, because traces that perturb
+the system they observe are worthless for debugging timing protocols.
+"""
+
+import json
+
+import pytest
+
+from repro.config import Consistency, GPUConfig, Protocol
+from repro.gpu.gpu import GPU
+from repro.obs import Observability, replay_audit, validate_chrome_trace
+from repro.workloads import build_workload
+
+
+def run(workload="BFS", protocol=Protocol.GTSC, obs=None, **overrides):
+    config = GPUConfig.tiny(protocol=protocol,
+                            consistency=Consistency.RC, **overrides)
+    kernel = build_workload(workload, scale=0.3, seed=7)
+    gpu = GPU(config, obs=obs)
+    return gpu.run(kernel), gpu
+
+
+# ---------------------------------------------------------------------------
+# the passivity contract
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("protocol", [Protocol.GTSC, Protocol.TC,
+                                      Protocol.MESI,
+                                      Protocol.NONCOHERENT])
+def test_full_observability_never_perturbs_results(protocol):
+    baseline, _ = run(protocol=protocol)
+    traced, _ = run(protocol=protocol,
+                    obs=Observability.full(interval=500))
+    plain = baseline.to_dict()
+    observed = traced.to_dict()
+    observed.pop("timeseries")
+    assert json.dumps(observed, sort_keys=True) == \
+        json.dumps(plain, sort_keys=True)
+
+
+def test_disabled_bundle_is_the_default():
+    stats, gpu = run()
+    assert gpu.machine.obs is None
+    assert stats.timeseries == {}
+
+
+# ---------------------------------------------------------------------------
+# the full bundle actually observes
+# ---------------------------------------------------------------------------
+
+
+def test_traced_gtsc_run_produces_all_three_outputs():
+    obs = Observability.full(interval=500)
+    stats, _ = run(obs=obs)
+    assert len(obs.tracer) > 0
+    assert len(obs.audit) > 0
+    assert len(obs.metrics.samples) > 0
+    assert validate_chrome_trace(obs.tracer.to_chrome()) > 0
+    assert replay_audit(obs.audit.records, lease=10) == len(obs.audit)
+
+
+def test_trace_covers_memory_system_tracks():
+    obs = Observability.full(interval=500)
+    run(obs=obs)
+    tracks = {event[3] for event in obs.tracer.events}
+    assert "noc" in tracks
+    assert any(track.startswith("dram") for track in tracks)
+    assert "metrics" in tracks
+
+
+def test_sm_stall_spans_are_closed_intervals():
+    obs = Observability.full(interval=500)
+    stats, _ = run(obs=obs)
+    spans = [e for e in obs.tracer.events
+             if e[0] == "X" and e[4].startswith("stall")]
+    assert spans, "a memory-bound kernel must record stall windows"
+    for _, start, dur, _, _, _ in spans:
+        assert dur >= 0
+        assert start + dur <= stats.cycles
+
+
+def test_tc_write_stalls_are_traced():
+    obs = Observability.full(interval=500)
+    config = GPUConfig.tiny(protocol=Protocol.TC,
+                            consistency=Consistency.SC, lease=40)
+    kernel = build_workload("STN", scale=0.3, seed=7)
+    stats = GPU(config, obs=obs).run(kernel)
+    if stats.counter("l2_write_stalls") > 0:
+        names = {e[4] for e in obs.tracer.events}
+        assert "write_stall" in names or "atomic_stall" in names
+
+
+def test_mesi_coherence_actions_are_traced():
+    obs = Observability.full(interval=500)
+    stats, _ = run("STN", protocol=Protocol.MESI, obs=obs)
+    names = {e[4] for e in obs.tracer.events}
+    if stats.counter("dir_invalidations") > 0:
+        assert "invalidate" in names
+
+
+def test_engine_tracing_is_opt_in_within_the_bundle():
+    quiet = Observability.full(interval=500)
+    run(obs=quiet)
+    assert not any(e[3] == "engine" for e in quiet.tracer.events)
+
+    verbose = Observability.full(interval=500, trace_engine=True)
+    run(obs=verbose)
+    assert any(e[3] == "engine" for e in verbose.tracer.events)
+
+
+def test_engine_hook_absent_without_members():
+    _, gpu = run(obs=Observability())
+    assert gpu.machine.engine.hook is None

@@ -1,0 +1,105 @@
+"""Tests for the sampled time-series metrics registry."""
+
+import pytest
+
+from repro.config import Consistency, GPUConfig, Protocol
+from repro.gpu.gpu import GPU
+from repro.obs import DEFAULT_COUNTERS, MetricsRegistry, Observability
+from repro.stats.collector import RunStats
+from repro.workloads import build_workload
+
+
+class FakeStats:
+    def __init__(self):
+        from collections import defaultdict
+        self.counters = defaultdict(int)
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ValueError):
+        MetricsRegistry(interval=0)
+
+
+def test_samples_land_on_interval_boundaries():
+    metrics = MetricsRegistry(interval=100, counters=["instructions"])
+    stats = FakeStats()
+    metrics.bind(stats)
+    for now in (5, 99, 100, 101, 250, 610):
+        stats.counters["instructions"] = now
+        metrics.on_cycle(now)
+    # one sample per crossed boundary, stamped with the actual cycle
+    assert [row["cycle"] for row in metrics.samples] == [100, 250, 610]
+
+
+def test_finalize_takes_a_closing_sample():
+    metrics = MetricsRegistry(interval=100, counters=["instructions"])
+    metrics.bind(FakeStats())
+    metrics.on_cycle(150)
+    metrics.finalize(175)
+    assert [row["cycle"] for row in metrics.samples] == [150, 175]
+    # idempotent: a second finalize at the same cycle adds nothing
+    metrics.finalize(175)
+    assert len(metrics.samples) == 2
+
+
+def test_gauges_are_probed_at_sample_time():
+    metrics = MetricsRegistry(interval=10, counters=[])
+    metrics.bind(FakeStats())
+    live = {"value": 3}
+    metrics.add_gauge("mshr", lambda: live["value"])
+    metrics.on_cycle(10)
+    live["value"] = 8
+    metrics.on_cycle(20)
+    assert metrics.series("mshr") == [(10, 3), (20, 8)]
+
+
+def test_derived_rates_use_cycle_deltas():
+    metrics = MetricsRegistry(interval=100, counters=["instructions"])
+    stats = FakeStats()
+    metrics.bind(stats)
+    stats.counters["instructions"] = 50
+    metrics.on_cycle(100)
+    stats.counters["instructions"] = 150   # +100 instr over 200 cycles
+    metrics.on_cycle(300)
+    assert metrics.derived()["ipc"] == [(300, 0.5)]
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: a real run carries the series in RunStats
+# ---------------------------------------------------------------------------
+
+
+def run_stats(obs=None, **overrides):
+    config = GPUConfig.tiny(protocol=Protocol.GTSC,
+                            consistency=Consistency.RC, **overrides)
+    kernel = build_workload("BFS", scale=0.3, seed=7)
+    return GPU(config, obs=obs).run(kernel)
+
+
+def test_run_timeseries_covers_the_whole_kernel():
+    obs = Observability(metrics=MetricsRegistry(interval=500))
+    stats = run_stats(obs=obs)
+    series = stats.timeseries
+    assert series["interval"] == 500
+    assert set(DEFAULT_COUNTERS) <= set(series["columns"])
+    assert "l1_mshr_occupancy" in series["columns"]
+    cycles = [row["cycle"] for row in series["samples"]]
+    assert cycles == sorted(cycles)
+    # the finalize sample pins the series to the end of the run
+    assert cycles[-1] == stats.cycles
+    last = series["samples"][-1]
+    assert last["instructions"] == stats.counter("instructions")
+
+
+def test_timeseries_round_trips_through_serialization():
+    obs = Observability(metrics=MetricsRegistry(interval=500))
+    stats = run_stats(obs=obs)
+    restored = RunStats.from_dict(stats.to_dict())
+    assert restored.timeseries == stats.timeseries
+    assert restored == stats
+
+
+def test_disabled_runs_serialize_without_timeseries_key():
+    stats = run_stats()
+    assert stats.timeseries == {}
+    assert "timeseries" not in stats.to_dict()

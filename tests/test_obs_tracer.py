@@ -1,0 +1,139 @@
+"""Tests for the structured tracer and its export formats.
+
+The JSONL stream doubles as a golden-file format: the byte-exact
+output for a hand-built tracer is pinned here, so any accidental
+change to field names, ordering or separators — which would break
+downstream consumers diffing traces — fails loudly.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, validate_chrome_trace
+
+# ---------------------------------------------------------------------------
+# recording semantics
+# ---------------------------------------------------------------------------
+
+
+def make_tracer():
+    tracer = Tracer()
+    tracer.instant(5, "sm0", "renew_request", {"addr": 64})
+    tracer.complete(10, 42, "noc", "data:0->1", {"bytes": 40})
+    tracer.counter(100, "metrics", "ipc", 3)
+    tracer.instant(120, "l2b0", "ts_reset")
+    return tracer
+
+
+def test_complete_stores_duration():
+    tracer = Tracer()
+    tracer.complete(7, 19, "sm1", "stall_mem")
+    phase, start, dur, track, name, args = tracer.events[0]
+    assert (phase, start, dur) == ("X", 7, 12)
+    assert (track, name, args) == ("sm1", "stall_mem", None)
+
+
+def test_len_counts_events():
+    assert len(make_tracer()) == 4
+
+
+def test_engine_event_uses_callback_name():
+    tracer = Tracer(trace_engine=True)
+
+    def tick():
+        pass
+
+    tracer.engine_event(3, tick)
+    assert tracer.events[0][4].endswith("tick")
+    assert tracer.events[0][3] == "engine"
+
+
+# ---------------------------------------------------------------------------
+# JSONL: golden file + exact round trip
+# ---------------------------------------------------------------------------
+
+GOLDEN_JSONL = [
+    '{"args":{"addr":64},"name":"renew_request","ph":"i","track":"sm0",'
+    '"ts":5}',
+    '{"args":{"bytes":40},"dur":32,"name":"data:0->1","ph":"X",'
+    '"track":"noc","ts":10}',
+    '{"name":"ipc","ph":"C","track":"metrics","ts":100,"value":3}',
+    '{"name":"ts_reset","ph":"i","track":"l2b0","ts":120}',
+]
+
+
+def test_jsonl_matches_golden():
+    assert list(make_tracer().iter_jsonl()) == GOLDEN_JSONL
+
+
+def test_jsonl_round_trip_is_exact(tmp_path):
+    tracer = make_tracer()
+    path = str(tmp_path / "events.jsonl")
+    tracer.write_jsonl(path)
+    assert Tracer.read_jsonl(path) == tracer.events
+
+
+def test_jsonl_lines_are_valid_json(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    make_tracer().write_jsonl(path)
+    with open(path) as handle:
+        for line in handle:
+            record = json.loads(line)
+            assert record["ph"] in ("i", "X", "C")
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace export + schema validation
+# ---------------------------------------------------------------------------
+
+
+def test_chrome_trace_validates():
+    trace = make_tracer().to_chrome()
+    # 4 events + process_name + one thread_name per distinct track
+    assert validate_chrome_trace(trace) == 4 + 1 + 4
+
+
+def test_chrome_trace_track_names_are_stable():
+    trace = make_tracer().to_chrome()
+    names = [e["args"]["name"] for e in trace["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "thread_name"]
+    assert names == sorted(["sm0", "noc", "metrics", "l2b0"])
+
+
+def test_chrome_trace_counter_carries_value():
+    trace = make_tracer().to_chrome()
+    counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+    assert counters == [
+        {"name": "ipc", "ph": "C", "ts": 100, "pid": 0,
+         "tid": counters[0]["tid"], "cat": "metrics",
+         "args": {"value": 3}},
+    ]
+
+
+def test_write_chrome_is_loadable_json(tmp_path):
+    path = str(tmp_path / "run.trace.json")
+    make_tracer().write_chrome(path)
+    with open(path) as handle:
+        trace = json.load(handle)
+    assert validate_chrome_trace(trace) > 0
+    assert trace["displayTimeUnit"] == "ns"
+
+
+@pytest.mark.parametrize("mutate,message", [
+    (lambda t: t.pop("traceEvents"), "traceEvents"),
+    (lambda t: t["traceEvents"].append({"ph": "X"}), "name"),
+    (lambda t: t["traceEvents"].append(
+        {"name": "x", "ph": "Z", "pid": 0, "tid": 0, "ts": 0}),
+     "phase"),
+    (lambda t: t["traceEvents"].append(
+        {"name": "x", "ph": "X", "pid": 0, "tid": 0, "ts": 0}), "dur"),
+    (lambda t: t["traceEvents"].append(
+        {"name": "x", "ph": "C", "pid": 0, "tid": 0, "ts": 0,
+         "args": {"value": "not-a-number"}}), "numeric"),
+])
+def test_schema_rejects_malformed_traces(mutate, message):
+    trace = make_tracer().to_chrome()
+    mutate(trace)
+    with pytest.raises(ValueError, match=message):
+        validate_chrome_trace(trace)

@@ -95,3 +95,48 @@ def test_sweep_through_parallel_runner_matches_sequential():
     expected = run_sweep(make_sequential())
     actual = run_sweep(make_parallel(jobs=2))
     assert actual.data == expected.data
+
+
+def test_jobs_clamped_to_available_cores():
+    import os
+
+    cores = os.cpu_count() or 1
+    with pytest.warns(RuntimeWarning, match="clamping"):
+        runner = make_parallel(jobs=cores + 3)
+    assert runner.jobs == cores
+
+
+def test_jobs_within_cores_does_not_warn(recwarn):
+    make_parallel(jobs=1)
+    assert not [w for w in recwarn.list
+                if issubclass(w.category, RuntimeWarning)]
+
+
+def test_clamped_runner_still_matches_sequential():
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        clamped = make_parallel(jobs=64)
+    expected = make_sequential().run("BFS", Protocol.GTSC,
+                                     Consistency.RC)
+    assert clamped.run("BFS", Protocol.GTSC,
+                       Consistency.RC) == expected
+
+
+def test_progress_heartbeats_go_to_stderr(capsys):
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        runner = make_parallel(jobs=2, progress=True)
+    runner.prefetch(ExperimentRunner.matrix_points(["BFS"]))
+    err = capsys.readouterr().err
+    assert "[repro]" in err
+    assert "BFS gtsc-rc" in err
+
+
+def test_progress_off_is_silent(capsys):
+    runner = make_sequential(progress=False)
+    runner.prefetch(ExperimentRunner.matrix_points(["BFS"]))
+    assert capsys.readouterr().err == ""

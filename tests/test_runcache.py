@@ -192,3 +192,31 @@ def test_cacheless_runner_still_memoises_in_memory():
     second = runner.run("BFS", Protocol.GTSC, Consistency.RC)
     assert first is second
     assert runner.simulations_run == 1
+
+
+def test_corrupt_entry_warns_with_the_offending_path(tmp_path):
+    cache = RunCache(str(tmp_path))
+    cache.put("k1", small_run())
+    path = cache._path("k1")
+    with open(path, "w") as handle:
+        handle.write("{not json at all")
+    with pytest.warns(RuntimeWarning,
+                      match=r"corrupt run-cache entry .*k1"):
+        assert cache.get("k1") is None
+
+
+def test_truncated_entry_warns_too(tmp_path):
+    cache = RunCache(str(tmp_path))
+    cache.put("k1", small_run())
+    with open(cache._path("k1"), "w") as handle:
+        handle.write('{"cycles": 5}')      # valid JSON, not a RunStats
+    with pytest.warns(RuntimeWarning, match="re-simulating"):
+        assert cache.get("k1") is None
+    assert cache.stats() == {"hits": 0, "misses": 1}
+
+
+def test_ordinary_miss_does_not_warn(tmp_path, recwarn):
+    cache = RunCache(str(tmp_path))
+    assert cache.get("never-written") is None
+    assert not [w for w in recwarn.list
+                if issubclass(w.category, RuntimeWarning)]

@@ -1,0 +1,58 @@
+"""The canonical counter registry must cover everything emitted.
+
+A smoke run of every protocol is driven end to end and each counter
+the simulator bumped is checked against :mod:`repro.stats.names` —
+so a typo'd or undocumented ``stats.add("new_counter")`` anywhere in
+the code base fails here instead of silently fragmenting the stats
+vocabulary.
+"""
+
+import pytest
+
+from repro.config import Consistency, GPUConfig, Protocol
+from repro.gpu.gpu import GPU
+from repro.stats import names
+from repro.workloads import build_workload
+
+
+def smoke(protocol, consistency=Consistency.RC, **overrides):
+    config = GPUConfig.tiny(protocol=protocol, consistency=consistency,
+                            **overrides)
+    kernel = build_workload("STN", scale=0.3, seed=7)
+    return GPU(config).run(kernel)
+
+
+@pytest.mark.parametrize("protocol", list(Protocol))
+def test_every_emitted_counter_is_registered(protocol):
+    stats = smoke(protocol)
+    rogue = names.unregistered(stats.counters)
+    assert not rogue, (f"{protocol.value} emitted unregistered "
+                       f"counter(s): {sorted(rogue)}")
+
+
+def test_overflow_counters_are_registered():
+    stats = smoke(Protocol.GTSC, ts_max=256)
+    assert stats.counter("ts_overflows") > 0
+    assert not names.unregistered(stats.counters)
+
+
+def test_every_emitted_histogram_is_registered():
+    stats = smoke(Protocol.GTSC)
+    assert set(stats.histograms) <= names.HISTOGRAMS
+
+
+def test_dynamic_noc_families_are_recognised():
+    assert names.is_registered("noc_bytes_data")
+    assert names.is_registered("noc_bytes_ctrl")
+    # the bare prefix is not itself a counter in the family
+    assert not names.is_registered("noc_bytes_")
+
+
+def test_unknown_names_are_flagged():
+    assert names.unregistered(["l1_hit", "totally_made_up"]) == \
+        {"totally_made_up"}
+
+
+def test_registry_matches_the_sampled_defaults():
+    from repro.obs import DEFAULT_COUNTERS
+    assert not names.unregistered(DEFAULT_COUNTERS)
