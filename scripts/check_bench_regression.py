@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON result against the committed baseline.
+
+Usage:
+    python scripts/check_bench_regression.py RESULT.json [BASELINE.json]
+
+Exits non-zero when any benchmark's best (min) time regressed by more
+than the tolerance over the baseline's best time — by default 30%,
+overridable with ``REPRO_BENCH_TOLERANCE`` (a fraction, e.g. ``0.5``).
+
+Minimum-of-rounds is compared rather than the mean because it is the
+most noise-robust statistic a short benchmark produces; the generous
+tolerance absorbs the remaining machine-to-machine variance between
+the host that produced ``benchmarks/BENCH_baseline.json`` and CI
+runners.  Benchmarks present in only one file are reported but do not
+fail the check, so adding or retiring a benchmark does not require a
+lockstep baseline update.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / \
+    "benchmarks" / "BENCH_baseline.json"
+
+
+def load_mins(path: Path) -> dict[str, float]:
+    with open(path) as handle:
+        data = json.load(handle)
+    return {bench["name"]: bench["stats"]["min"]
+            for bench in data["benchmarks"]}
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__)
+        return 2
+    result_path = Path(argv[1])
+    baseline_path = Path(argv[2]) if len(argv) == 3 else DEFAULT_BASELINE
+    tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.30"))
+
+    result = load_mins(result_path)
+    baseline = load_mins(baseline_path)
+
+    failed = []
+    for name in sorted(set(result) | set(baseline)):
+        new = result.get(name)
+        old = baseline.get(name)
+        if new is None or old is None:
+            side = "baseline" if new is None else "result"
+            print(f"  SKIP {name}: only in {side}")
+            continue
+        ratio = new / old
+        status = "ok"
+        if ratio > 1.0 + tolerance:
+            status = "REGRESSED"
+            failed.append(name)
+        print(f"  {status:>9} {name}: {old * 1e3:.2f} ms -> "
+              f"{new * 1e3:.2f} ms ({ratio:.2f}x)")
+
+    if failed:
+        print(f"\n{len(failed)} benchmark(s) regressed more than "
+              f"{tolerance:.0%}: {', '.join(failed)}")
+        return 1
+    print(f"\nAll shared benchmarks within {tolerance:.0%} of baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -168,6 +168,32 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cprofile_run(args: argparse.Namespace, workload: str) -> int:
+    """Profile one simulation under cProfile and print the hotspots.
+
+    Runs the paper's headline configuration (G-TSC under RC) for the
+    given workload with the requested preset/scale/seed, then prints
+    the top 25 functions by cumulative time — so perf work on the
+    simulator measures instead of guessing.
+    """
+    import cProfile
+    import pstats
+
+    config_factory = getattr(GPUConfig, args.preset)
+    config = config_factory(protocol=Protocol.GTSC,
+                            consistency=Consistency.RC)
+    kernel = build_workload(workload, scale=args.scale, seed=args.seed)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    stats = GPU(config, record_accesses=False).run(kernel)
+    profiler.disable()
+    print(f"cProfile: {workload} gtsc-rc on {config.describe()} "
+          f"({stats.cycles} cycles simulated)\n")
+    pstats.Stats(profiler, stream=sys.stdout) \
+        .sort_stats("cumulative").print_stats(25)
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     import time
 
@@ -180,6 +206,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
         name for name in ALL_NAMES
         if WORKLOADS[name].requires_coherence
     ]
+    if args.cprofile:
+        return _cprofile_run(args, workloads[0])
     runner = _make_runner(args)
     runner.progress = True  # profiling without a pulse is pointless
     points = ExperimentRunner.matrix_points(workloads,
@@ -338,6 +366,11 @@ def make_parser() -> argparse.ArgumentParser:
                         help="benchmarks (default: every coherent one)")
     p_prof.add_argument("--baseline", action="store_true",
                         help="include the no-L1 baseline point")
+    p_prof.add_argument("--cprofile", action="store_true",
+                        help="instead of the matrix sweep, run the "
+                             "first workload once (G-TSC, RC) under "
+                             "cProfile and print the top-25 "
+                             "cumulative hotspots")
     _add_runner_args(p_prof)
     p_prof.set_defaults(fn=cmd_profile)
 

@@ -60,13 +60,23 @@ class GTSCL1Controller(L1ControllerBase):
     """Per-SM L1 controller for G-TSC."""
 
     __slots__ = ("cache", "epoch", "_pending_stores", "_pending_atomics",
-                 "_locked_waiters", "_pending_writers", "_warps")
+                 "_locked_waiters", "_pending_writers", "_warps",
+                 "_handlers")
 
     def __init__(self, sm_id: int, machine: "Machine") -> None:
         super().__init__(sm_id, machine)
         config = machine.config
         self.cache = CacheArray(config.l1_sets, config.l1_assoc)
         self.epoch = 0
+        # response dispatch by concrete message class: one dict lookup
+        # on the hot receive path instead of an isinstance ladder
+        self._handlers = {
+            BusFill: self._on_fill,
+            BusRnw: self._on_renewal,
+            BusWrAck: self._on_write_ack,
+            BusAtmAck: self._on_atomic_ack,
+            BusInv: self._on_back_inv,
+        }
         # FIFO of unacknowledged stores per line (acks return in order)
         self._pending_stores: Dict[int, Deque[PendingStore]] = {}
         # FIFO of unacknowledged atomics per line
@@ -84,10 +94,15 @@ class GTSCL1Controller(L1ControllerBase):
     def load(self, warp: "Warp", addr: int,
              on_done: Callable[[], None]) -> bool:
         self._warps.add(warp)
-        self.stats.add("l1_access")
+        counters = self._counters
+        counters["l1_access"] += 1
 
-        if self._load_blocked_by_store(warp, addr):
-            self.stats.add("l1_locked_wait")
+        # inline _load_blocked_by_store: the common case (no pending
+        # store on this line) must cost two dict probes, nothing more
+        pending = (self._pending_stores.get(addr)
+                   or self._pending_atomics.get(addr))
+        if pending and self._blocks_load(warp, addr):
+            counters["l1_locked_wait"] += 1
             self._locked_waiters.setdefault(addr, []).append(
                 (warp, on_done, self.engine.now)
             )
@@ -95,22 +110,24 @@ class GTSCL1Controller(L1ControllerBase):
 
         line = self.cache.lookup(addr)
         if line is not None and warp.ts <= line.rts:
-            self.stats.add("l1_hit")
-            warp.ts = max(warp.ts, line.wts)
+            counters["l1_hit"] += 1
+            if line.wts > warp.ts:
+                warp.ts = line.wts
             if self.audit is not None:
                 self.audit.record(self.engine.now, "l1_load",
                                   self.track, addr, line.wts, line.rts,
                                   warp.ts, self.epoch, warp.uid)
             self._record_load(warp, addr, line.version, self.engine.now,
                               hit=True)
-            self._complete(on_done, self.config.l1_latency)
+            engine = self.engine
+            engine.post(engine.now + self._l1_latency, on_done)
             return True
 
         # miss: cold (no tag) or coherence (lease behind warp_ts)
-        self.stats.add("l1_miss")
+        counters["l1_miss"] += 1
         stale_wts = 0
         if line is not None:
-            self.stats.add("l1_expired_miss")
+            counters["l1_expired_miss"] += 1
             stale_wts = line.wts
 
         waiter = LoadWaiter(warp, on_done, self.engine.now)
@@ -135,8 +152,9 @@ class GTSCL1Controller(L1ControllerBase):
     def store(self, warp: "Warp", addr: int,
               on_done: Callable[[], None]) -> bool:
         self._warps.add(warp)
-        self.stats.add("l1_access")
-        self.stats.add("l1_store")
+        counters = self._counters
+        counters["l1_access"] += 1
+        counters["l1_store"] += 1
 
         version = self.machine.versions.new_version(addr)
         line = self.cache.lookup(addr)
@@ -156,8 +174,9 @@ class GTSCL1Controller(L1ControllerBase):
         updated line is unreadable locally until the ack, exactly like
         a store under the update-visibility rule."""
         self._warps.add(warp)
-        self.stats.add("l1_access")
-        self.stats.add("l1_atomic")
+        counters = self._counters
+        counters["l1_access"] += 1
+        counters["l1_atomic"] += 1
         version = self.machine.versions.new_version(addr)
         line = self.cache.lookup(addr)
         if line is not None:
@@ -183,8 +202,12 @@ class GTSCL1Controller(L1ControllerBase):
         """
         pending = (self._pending_stores.get(addr)
                    or self._pending_atomics.get(addr))
-        if not pending:
-            return False
+        return bool(pending) and self._blocks_load(warp, addr)
+
+    def _blocks_load(self, warp: "Warp", addr: int) -> bool:
+        """The policy half of the rule, once a pending store/atomic on
+        the line is known to exist (see :meth:`_load_blocked_by_store`;
+        the existence probe is inlined in :meth:`load`)."""
         if self.config.visibility is VisibilityPolicy.DELAY:
             return True
         writers = self._pending_writers.get(addr)
@@ -230,23 +253,18 @@ class GTSCL1Controller(L1ControllerBase):
         epoch = getattr(msg, "epoch", self.epoch)
         if epoch > self.epoch:
             self._epoch_reset(epoch)
-        if isinstance(msg, BusFill):
-            self._on_fill(msg)
-        elif isinstance(msg, BusRnw):
-            self._on_renewal(msg)
-        elif isinstance(msg, BusWrAck):
-            self._on_write_ack(msg)
-        elif isinstance(msg, BusAtmAck):
-            self._on_atomic_ack(msg)
-        elif isinstance(msg, BusInv):
-            # inclusive-L2 ablation: back-invalidate (never drops a
-            # line with a pending store; timestamps keep that safe)
-            line = self.cache.lookup(msg.addr, touch=False)
-            if line is not None and line.pending_stores == 0:
-                self.cache.invalidate(msg.addr)
-                self.stats.add("l1_back_invalidations")
-        else:  # pragma: no cover - defensive
+        handler = self._handlers.get(type(msg))
+        if handler is None:  # pragma: no cover - defensive
             raise TypeError(f"unexpected message at G-TSC L1: {msg!r}")
+        handler(msg)
+
+    def _on_back_inv(self, msg: BusInv) -> None:
+        # inclusive-L2 ablation: back-invalidate (never drops a
+        # line with a pending store; timestamps keep that safe)
+        line = self.cache.lookup(msg.addr, touch=False)
+        if line is not None and line.pending_stores == 0:
+            self.cache.invalidate(msg.addr)
+            self.stats.add("l1_back_invalidations")
 
     def _on_fill(self, msg: BusFill) -> None:
         if msg.epoch < self.epoch:
@@ -308,19 +326,24 @@ class GTSCL1Controller(L1ControllerBase):
                                   msg.rts, pending.warp.ts, self.epoch,
                                   pending.warp.uid)
         logical = pending.warp.ts if stale else msg.wts
-        self.stats.hist.add("store_latency",
-                            self.engine.now - pending.issue_cycle)
-        self.machine.log.record_store(StoreRecord(
-            warp_uid=pending.warp.uid,
-            addr=msg.addr,
-            version=pending.version,
-            logical_ts=logical,
-            epoch=self.epoch,
-            issue_cycle=pending.issue_cycle,
-            complete_cycle=self.engine.now,
-        ))
+        hist = self._store_hist
+        if hist is None:
+            hist = self._store_hist = self.stats.hist.get("store_latency")
+        hist.add(self.engine.now - pending.issue_cycle)
+        log = self.machine.log
+        if log.enabled:
+            log.stores.append(StoreRecord(
+                warp_uid=pending.warp.uid,
+                addr=msg.addr,
+                version=pending.version,
+                logical_ts=logical,
+                epoch=self.epoch,
+                issue_cycle=pending.issue_cycle,
+                complete_cycle=self.engine.now,
+            ))
         self._drop_writer_if_drained(msg.addr, pending.warp.uid)
-        self._complete(pending.on_done)
+        engine = self.engine
+        engine.post(engine.now, pending.on_done)
         self._release_locked(msg.addr)
 
     def _on_atomic_ack(self, msg: BusAtmAck) -> None:
@@ -346,20 +369,25 @@ class GTSCL1Controller(L1ControllerBase):
                                   msg.rts, pending.warp.ts, self.epoch,
                                   pending.warp.uid)
         logical = pending.warp.ts if stale else msg.wts
-        self.stats.hist.add("atomic_latency",
-                            self.engine.now - pending.issue_cycle)
-        self.machine.log.record_atomic(AtomicRecord(
-            warp_uid=pending.warp.uid,
-            addr=msg.addr,
-            old_version=msg.old_version,
-            new_version=pending.version,
-            logical_ts=logical,
-            epoch=self.epoch,
-            issue_cycle=pending.issue_cycle,
-            complete_cycle=self.engine.now,
-        ))
+        hist = self._atomic_hist
+        if hist is None:
+            hist = self._atomic_hist = self.stats.hist.get("atomic_latency")
+        hist.add(self.engine.now - pending.issue_cycle)
+        log = self.machine.log
+        if log.enabled:
+            log.atomics.append(AtomicRecord(
+                warp_uid=pending.warp.uid,
+                addr=msg.addr,
+                old_version=msg.old_version,
+                new_version=pending.version,
+                logical_ts=logical,
+                epoch=self.epoch,
+                issue_cycle=pending.issue_cycle,
+                complete_cycle=self.engine.now,
+            ))
         self._drop_writer_if_drained(msg.addr, pending.warp.uid)
-        self._complete(pending.on_done)
+        engine = self.engine
+        engine.post(engine.now, pending.on_done)
         self._release_locked(msg.addr)
 
     def _drop_writer_if_drained(self, addr: int, warp_uid: int) -> None:
@@ -389,8 +417,30 @@ class GTSCL1Controller(L1ControllerBase):
         single renewal request (carrying the largest straggler
         timestamp) is sent on their behalf — Figure 11's resolution.
         """
-        done = self.mshr.drain(addr, keep=lambda w: w.warp.ts > rts)
+        # mshr.drain(addr, keep=...) open-coded: the keep-predicate form
+        # costs a lambda call per waiter, and the straggler check below
+        # can reuse the entry instead of a second lookup.  Stragglers
+        # (warp.ts beyond the lease) are rare, so scan for one first and
+        # only split the waiter list when needed.
+        mshr = self.mshr
+        entry = mshr.get(addr)
+        done: list = []
+        stragglers = None
+        if entry is not None:
+            waiters = entry.waiters
+            for w in waiters:
+                if w.warp.ts > rts:
+                    done = [w for w in waiters if w.warp.ts <= rts]
+                    stragglers = [w for w in waiters if w.warp.ts > rts]
+                    entry.waiters = stragglers
+                    break
+            else:
+                done = waiters
+                entry.waiters = []
+                mshr.release(addr)
         audit = self.audit
+        engine = self.engine
+        now = engine.now
         for waiter in done:
             waiter.warp.ts = max(waiter.warp.ts, wts)
             if audit is not None:
@@ -399,10 +449,9 @@ class GTSCL1Controller(L1ControllerBase):
                              self.epoch, waiter.warp.uid)
             self._record_load(waiter.warp, addr, version,
                               waiter.issue_cycle, hit=False)
-            self._complete(waiter.on_done)
-        entry = self.mshr.get(addr)
-        if entry is not None and entry.waiters:
-            top_ts = max(w.warp.ts for w in entry.waiters)
+            engine.post(now, waiter.on_done)
+        if stragglers:
+            top_ts = max(w.warp.ts for w in stragglers)
             if installed:
                 self.stats.add("l1_renewals")
                 if self.trace is not None:
@@ -449,15 +498,20 @@ class GTSCL1Controller(L1ControllerBase):
     # ------------------------------------------------------------------
     def _record_load(self, warp: "Warp", addr: int, version: int,
                      issue_cycle: int, hit: bool) -> None:
-        self.stats.hist.add("load_latency",
-                            self.engine.now - issue_cycle)
-        self.machine.log.record_load(LoadRecord(
-            warp_uid=warp.uid,
-            addr=addr,
-            version=version,
-            logical_ts=warp.ts,
-            epoch=self.epoch,
-            issue_cycle=issue_cycle,
-            complete_cycle=self.engine.now,
-            l1_hit=hit,
-        ))
+        now = self.engine.now
+        hist = self._load_hist
+        if hist is None:
+            hist = self._load_hist = self.stats.hist.get("load_latency")
+        hist.add(now - issue_cycle)
+        log = self.machine.log
+        if log.enabled:    # don't even build the record when disabled
+            log.loads.append(LoadRecord(
+                warp_uid=warp.uid,
+                addr=addr,
+                version=version,
+                logical_ts=warp.ts,
+                epoch=self.epoch,
+                issue_cycle=issue_cycle,
+                complete_cycle=now,
+                l1_hit=hit,
+            ))

@@ -36,27 +36,37 @@ if TYPE_CHECKING:  # pragma: no cover
 class GTSCL2Bank(L2BankBase):
     """One bank of the shared cache under G-TSC."""
 
-    __slots__ = ("domain", "mem_ts")
+    __slots__ = ("domain", "mem_ts", "_handlers", "_fixed_lease",
+                 "_lease", "_ts_max")
 
     def __init__(self, bank_id: int, machine: "Machine",
                  domain: TimestampDomain) -> None:
         super().__init__(bank_id, machine)
         self.domain = domain
         self.mem_ts = 1
+        # request dispatch by concrete class (same idiom as the L1)
+        self._handlers = {
+            BusRd: self._read,
+            BusWr: self._write,
+            BusAtm: self._atomic,
+        }
+        # under the paper's fixed policy the lease grant is a constant;
+        # precompute it so _read skips the _lease_for call
+        self._fixed_lease = (
+            machine.config.lease
+            if machine.config.lease_policy is LeasePolicy.FIXED else None)
+        self._lease = machine.config.lease
+        self._ts_max = domain.ts_max
         domain.on_reset(self._timestamp_reset)
 
     # ------------------------------------------------------------------
     # request dispatch
     # ------------------------------------------------------------------
     def _process(self, msg: Message) -> None:
-        if isinstance(msg, BusRd):
-            self._read(msg)
-        elif isinstance(msg, BusWr):
-            self._write(msg)
-        elif isinstance(msg, BusAtm):
-            self._atomic(msg)
-        else:  # pragma: no cover - defensive
+        handler = self._handlers.get(type(msg))
+        if handler is None:  # pragma: no cover - defensive
             raise TypeError(f"unexpected message at G-TSC L2: {msg!r}")
+        handler(msg)
 
     # ------------------------------------------------------------------
     # reads: renewal vs fill (Figure 4)
@@ -82,17 +92,22 @@ class GTSCL2Bank(L2BankBase):
         if line is None:
             self._miss(msg)
             return
-        self.stats.add("l2_hit")
+        self._counters["l2_hit"] += 1
 
         fresh_request = msg.epoch == self.domain.epoch
         renewal = fresh_request and msg.wts == line.wts
         if renewal:
             line.renewals += 1
         warp_ts = msg.warp_ts if fresh_request else 1
-        desired = max(line.rts, warp_ts + self._lease_for(line))
-        if self.domain.clamp(desired) < 0:
+        lease = self._fixed_lease
+        if lease is None:
+            lease = self._lease_for(line)
+        granted = warp_ts + lease
+        desired = granted if granted > line.rts else line.rts
+        if desired > self._ts_max:
             # overflow reset fired: recompute against the reset line;
             # the requester's epoch is now stale, forcing a fill
+            self.domain.overflow_reset()
             line = self.cache.lookup(msg.addr)
             fresh_request = False
             renewal = False
@@ -128,16 +143,18 @@ class GTSCL2Bank(L2BankBase):
             # both loads and stores fetch the line from DRAM on a miss
             self._miss(msg)
             return
-        self.stats.add("l2_hit")
+        self._counters["l2_hit"] += 1
 
+        lease = self._lease
         warp_ts = msg.warp_ts if msg.epoch == self.domain.epoch else 1
         wts = max(line.rts + 1, warp_ts)
-        if self.domain.clamp(wts + self.config.lease) < 0:
+        if wts + lease > self._ts_max:
+            self.domain.overflow_reset()
             line = self.cache.lookup(msg.addr)
             warp_ts = 1  # requester's clock is from the retired epoch
             wts = max(line.rts + 1, 1)
         line.wts = wts
-        line.rts = wts + self.config.lease
+        line.rts = wts + lease
         line.version = msg.version
         line.dirty = True
         line.renewals = 0  # a write ends the line's read-only streak
@@ -167,19 +184,21 @@ class GTSCL2Bank(L2BankBase):
         if line is None:
             self._miss(msg)
             return
-        self.stats.add("l2_hit")
-        self.stats.add("l2_atomics")
+        self._counters["l2_hit"] += 1
+        self._counters["l2_atomics"] += 1
 
+        lease = self._lease
         old_version = line.version
         warp_ts = msg.warp_ts if msg.epoch == self.domain.epoch else 1
         wts = max(line.rts + 1, warp_ts)
-        if self.domain.clamp(wts + self.config.lease) < 0:
+        if wts + lease > self._ts_max:
+            self.domain.overflow_reset()
             line = self.cache.lookup(msg.addr)
             old_version = line.version
             warp_ts = 1
             wts = max(line.rts + 1, 1)
         line.wts = wts
-        line.rts = wts + self.config.lease
+        line.rts = wts + lease
         line.version = msg.version
         line.dirty = True
         line.renewals = 0

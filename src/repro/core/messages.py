@@ -4,9 +4,18 @@ Each message carries exactly the fields Table I lists; sizes are a
 header plus 16-bit timestamps plus, for data-bearing messages, one
 cache line.  The renewal response (``BusRnw``) carrying *no data* is
 one of G-TSC's traffic advantages over TC, so sizing is faithful.
+
+Sizing invariant: every message's :meth:`payload_bytes` here depends
+only on its *class* and the config — never on per-instance fields —
+so :class:`repro.gpu.machine.Machine` computes the on-wire size once
+per class and caches it for the rest of the run.  A message class
+whose payload *does* vary per instance must set ``uniform_size =
+False`` (see ``repro.protocols.base.Message``).
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from repro.protocols.base import Message
 
@@ -24,7 +33,8 @@ class BusRd(Message):
 
     def __init__(self, addr: int, sm: int, wts: int, warp_ts: int,
                  epoch: int) -> None:
-        super().__init__(addr, sm)
+        self.addr = addr
+        self.sm = sm
         self.wts = wts
         self.warp_ts = warp_ts
         self.epoch = epoch
@@ -42,7 +52,8 @@ class BusWr(Message):
 
     def __init__(self, addr: int, sm: int, warp_ts: int, version: int,
                  epoch: int) -> None:
-        super().__init__(addr, sm)
+        self.addr = addr
+        self.sm = sm
         self.warp_ts = warp_ts
         self.version = version
         self.epoch = epoch
@@ -60,7 +71,8 @@ class BusFill(Message):
 
     def __init__(self, addr: int, sm: int, wts: int, rts: int,
                  version: int, epoch: int, reset: bool = False) -> None:
-        super().__init__(addr, sm)
+        self.addr = addr
+        self.sm = sm
         self.wts = wts
         self.rts = rts
         self.version = version
@@ -79,7 +91,8 @@ class BusRnw(Message):
     __slots__ = ("rts", "epoch")
 
     def __init__(self, addr: int, sm: int, rts: int, epoch: int) -> None:
-        super().__init__(addr, sm)
+        self.addr = addr
+        self.sm = sm
         self.rts = rts
         self.epoch = epoch
 
@@ -101,8 +114,9 @@ class BusWrAck(Message):
     __slots__ = ("wts", "rts", "epoch", "version")
 
     def __init__(self, addr: int, sm: int, wts: int, rts: int,
-                 epoch: int, version: int = None) -> None:
-        super().__init__(addr, sm)
+                 epoch: int, version: Optional[int] = None) -> None:
+        self.addr = addr
+        self.sm = sm
         self.wts = wts
         self.rts = rts
         self.epoch = epoch
@@ -133,7 +147,8 @@ class BusAtm(Message):
 
     def __init__(self, addr: int, sm: int, warp_ts: int, version: int,
                  epoch: int) -> None:
-        super().__init__(addr, sm)
+        self.addr = addr
+        self.sm = sm
         self.warp_ts = warp_ts
         self.version = version
         self.epoch = epoch
@@ -155,8 +170,9 @@ class BusAtmAck(Message):
 
     def __init__(self, addr: int, sm: int, wts: int, rts: int,
                  old_version: int, epoch: int,
-                 version: int = None) -> None:
-        super().__init__(addr, sm)
+                 version: Optional[int] = None) -> None:
+        self.addr = addr
+        self.sm = sm
         self.wts = wts
         self.rts = rts
         self.old_version = old_version

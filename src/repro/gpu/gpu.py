@@ -11,6 +11,7 @@ from repro.gpu.sm import SM
 from repro.gpu.warp import Warp
 from repro.protocols.factory import build_protocol
 from repro.stats.collector import RunStats
+from repro.trace.compiled import CompiledKernel, compile_kernel
 from repro.trace.instr import Kernel
 
 
@@ -87,7 +88,12 @@ class GPU:
 
     def _execute(self, kernel: Kernel,
                  max_events: Optional[int]) -> None:
-        kernel.validate()
+        # compile once at launch: the SMs only ever execute packed
+        # traces (an already-compiled kernel is validated and reused)
+        if isinstance(kernel, CompiledKernel):
+            kernel.validate()
+        else:
+            kernel = compile_kernel(kernel)
         if kernel.cta_size > self.config.max_warps_per_sm:
             raise ValueError(
                 f"kernel {kernel.name!r}: cta_size {kernel.cta_size} "
@@ -98,7 +104,7 @@ class GPU:
         self._warp_uid_base += kernel.num_warps
         # whole CTAs land on one SM (barriers require it); CTAs are
         # distributed round-robin
-        for index, trace in enumerate(kernel.warp_traces):
+        for index, trace in enumerate(kernel.traces):
             cta_index = index // kernel.cta_size
             warp = Warp(uid=uid_base + index, trace=trace,
                         cta_id=uid_base + cta_index)

@@ -56,6 +56,14 @@ class Machine:
         self.l1s: List["L1ControllerBase"] = []
         self.l2_banks: List["L2BankBase"] = []
         self.timestamp_domain: Optional["TimestampDomain"] = None
+        # per-class on-wire message sizes: every concrete message's
+        # size depends only on the config, so routing computes it once
+        # per class instead of twice per message
+        self._msg_sizes: Dict[type, int] = {}
+        # endpoint tuples, preallocated: they key the NoC's port dicts
+        # and every message send needs a src and dst pair
+        self._sm_ports = [("sm", i) for i in range(config.num_sms)]
+        self._bank_ports = [("l2", j) for j in range(config.num_l2_banks)]
         # observability bundle (None by default: zero-cost).  Attached
         # last so the hooks see the fully built NoC/DRAM models; the
         # controllers read machine.obs at their own construction.
@@ -64,17 +72,28 @@ class Machine:
             obs.attach(self)
 
     # -- message routing -------------------------------------------------------
+    def _size_of(self, msg: "Message") -> int:
+        cls = type(msg)
+        size = self._msg_sizes.get(cls)
+        if size is None:
+            size = msg.size(self.config)
+            if cls.uniform_size:
+                self._msg_sizes[cls] = size
+        return size
+
     def send_to_bank(self, sm_id: int, msg: "Message") -> None:
         """Route a request from SM ``sm_id`` to the line's home bank."""
-        bank_id = self.config.bank_of(msg.addr)
-        bank = self.l2_banks[bank_id]
-        self.noc.send(("sm", sm_id), ("l2", bank_id),
-                      msg.size(self.config), msg.kind,
-                      lambda b=bank, m=msg: b.receive(m))
+        bank_id = msg.addr % self.config.num_l2_banks  # config.bank_of
+        size = self._msg_sizes.get(type(msg))
+        if size is None:
+            size = self._size_of(msg)
+        self.noc.send(self._sm_ports[sm_id], self._bank_ports[bank_id],
+                      size, msg.kind, self.l2_banks[bank_id].receive, msg)
 
     def send_to_sm(self, bank_id: int, sm_id: int, msg: "Message") -> None:
         """Route a response from bank ``bank_id`` back to an SM."""
-        l1 = self.l1s[sm_id]
-        self.noc.send(("l2", bank_id), ("sm", sm_id),
-                      msg.size(self.config), msg.kind,
-                      lambda c=l1, m=msg: c.receive(m))
+        size = self._msg_sizes.get(type(msg))
+        if size is None:
+            size = self._size_of(msg)
+        self.noc.send(self._bank_ports[bank_id], self._sm_ports[sm_id],
+                      size, msg.kind, self.l1s[sm_id].receive, msg)

@@ -14,6 +14,22 @@ The consistency model lives here (Section II-B):
 * **RC** — stores are fire-and-forget; only a FENCE waits for the
   warp's outstanding operations to drain (and, under TC-Weak, for the
   warp's GWCT to pass in physical time).
+
+Hot-path invariants (this is the single most-executed code in a run):
+
+* Warps execute *compiled* traces (:mod:`repro.trace.compiled`):
+  instruction dispatch is small-int comparison on ``warp.ops[pc]``,
+  never a dataclass field or string compare.
+* Memory issue allocates nothing per access — completions ride the
+  warp's prebound ``load_cb``/``store_cb`` (see :meth:`Warp.bind`).
+* ``active`` is uid-ordered by construction (warps arrive in uid
+  order and removal preserves order), so the GTO oldest-first scan is
+  a plain iteration, never a sort.
+* Warp classification is cached as a packed int on the warp
+  (``warp.cls``) and recomputed only when the warp is dirty (its
+  schedule-relevant state was mutated) or its cached wake time has
+  passed — the dirty-set discipline that keeps :meth:`_pick_warp`
+  from re-deriving every warp's state on every issue.
 """
 
 from __future__ import annotations
@@ -22,14 +38,21 @@ from collections import deque
 from typing import TYPE_CHECKING, Deque, List, Optional
 
 from repro.config import Consistency, SchedulerPolicy
-from repro.trace.instr import ATOMIC, BARRIER, COMPUTE, FENCE, LOAD, STORE
+from repro.trace.compiled import (
+    OP_ATOMIC,
+    OP_BARRIER,
+    OP_COMPUTE,
+    OP_FENCE,
+    OP_LOAD,
+)
 from repro.gpu.warp import Warp
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.machine import Machine
     from repro.protocols.base import L1ControllerBase
 
-# warp classification results
+# warp classification results (low 3 bits of the packed value; the
+# remaining bits hold wake_time + 1, or 0 when there is no wake time)
 _READY = 0
 _BLOCKED_MEM = 1
 _BLOCKED_COMPUTE = 2
@@ -47,11 +70,13 @@ class SM:
         self.config = machine.config
         self.engine = machine.engine
         self.stats = machine.stats
+        # raw counter mapping: the issue path increments it directly
+        self._counters = machine.stats.counters
         self.l1 = l1
         self.sc = machine.config.consistency is Consistency.SC
 
         self.queue: Deque[Warp] = deque()   # warps waiting for a slot
-        self.active: List[Warp] = []        # resident warps
+        self.active: List[Warp] = []        # resident warps, uid-ordered
         self.retired = 0
         self._rr = 0
         self._greedy = machine.config.scheduler is SchedulerPolicy.GTO
@@ -71,6 +96,7 @@ class SM:
     # warp lifecycle
     # ------------------------------------------------------------------
     def add_warp(self, warp: Warp) -> None:
+        warp.bind(self)
         self.queue.append(warp)
 
     def start(self) -> None:
@@ -83,7 +109,8 @@ class SM:
 
         A CTA's warps are enqueued consecutively; a CTA activates only
         when the SM has room for all of it (barriers require every
-        member resident).
+        member resident).  Warps are enqueued in uid order, so
+        ``active`` stays uid-sorted without ever sorting.
         """
         while self.queue:
             cta_id = self.queue[0].cta_id
@@ -100,13 +127,14 @@ class SM:
                 break
 
     def _check_retire(self, warp: Warp) -> None:
-        if warp.done or not (warp.finished_trace and warp.drained()):
+        if warp.done or not (warp.pc >= warp.length and warp.drained()):
             return
         if self.engine.now < warp.ready_at:
             # a trailing compute instruction is still executing
             self.engine.at(warp.ready_at, self._check_retire, warp)
             return
         warp.done = True
+        warp.cls_dirty = True
         self.retired += 1
         self.stats.add("warps_retired")
         self.active.remove(warp)
@@ -131,192 +159,264 @@ class SM:
     # ------------------------------------------------------------------
     def notify(self, warp: Optional[Warp] = None) -> None:
         """A memory operation completed; reschedule issue."""
-        if warp is not None:
+        # only a warp past the end of its trace can retire, so skip the
+        # _check_retire call entirely for mid-trace completions
+        if warp is not None and warp.pc >= warp.length:
             self._check_retire(warp)
         if self.active:
-            self._schedule_issue(0)
+            # _schedule_issue(0), inlined: one notify per completed
+            # memory access makes the call overhead visible
+            engine = self.engine
+            now = engine.now
+            event = self._issue_event
+            if event is not None and event[2] is not None:
+                if event[0] <= now:
+                    return
+                engine.cancel(event)
+            self._issue_event = engine.post(now, self._issue)
 
     def _schedule_issue(self, delay: int) -> None:
-        target = self.engine.now + delay
-        if self._issue_event is not None:
-            if self._issue_event[0] <= target:    # [0] is the fire time
+        event = self._issue_event
+        # a cancelled or already-fired handle (callback slot nulled) is
+        # absent, whatever stale fire time it still carries — it must
+        # never suppress a needed issue event
+        if event is not None and event[2] is not None:
+            if event[0] <= self.engine.now + delay:  # [0] is fire time
                 return
-            self.engine.cancel(self._issue_event)
-        self._issue_event = self.engine.schedule(delay, self._issue)
+            self.engine.cancel(event)
+        self._issue_event = self.engine.post(
+            self.engine.now + delay, self._issue)
 
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
-    def _classify(self, warp: Warp) -> tuple:
-        """(state, wake_time) for one warp.  wake_time may be None."""
+    def _classify(self, warp: Warp) -> int:
+        """The warp's packed (state, wake_time) classification.
+
+        Served from ``warp.cls`` unless the warp was mutated since the
+        last computation (``cls_dirty``) or its cached wake time has
+        been reached (a time-blocked warp becomes ready by the clock
+        alone).  States without a wake time can only change through a
+        mutation, which always sets the dirty flag.
+        """
+        if not warp.cls_dirty:
+            cls = warp.cls
+            if cls < 8 or self.engine.now < (cls >> 3) - 1:
+                return cls
+        cls = self._classify_fresh(warp)
+        warp.cls = cls
+        warp.cls_dirty = False
+        return cls
+
+    def _classify_fresh(self, warp: Warp) -> int:
         now = self.engine.now
         if warp.done:
-            return _DONE, None
+            return _DONE
         if warp.barrier_blocked:
-            return _BLOCKED_SYNC, None
+            return _BLOCKED_SYNC
         if warp.pending_addrs is not None:
             # MSHR back-pressure: retry the rest of the instruction
             if now >= warp.retry_at:
-                return _READY, None
-            return _BLOCKED_MEM, warp.retry_at
+                return _READY
+            return _BLOCKED_MEM | ((warp.retry_at + 1) << 3)
         if warp.outstanding_loads > 0:
-            return _BLOCKED_MEM, None
-        instr = warp.next_instr()
-        if instr is None:
+            return _BLOCKED_MEM
+        pc = warp.pc
+        if pc >= warp.length:
             # trace finished; draining trailing stores
             if warp.outstanding_stores > 0:
-                return _BLOCKED_MEM, None
-            return _DONE, None
-        if instr.op == BARRIER:
+                return _BLOCKED_MEM
+            return _DONE
+        op = warp.ops[pc]
+        if op == OP_BARRIER:
             # arrival requires the warp's memory to be drained (the
             # barrier doubles as a block-level fence)
             if warp.outstanding_stores > 0:
-                return _BLOCKED_MEM, None
-            return _READY, None
-        if instr.op == FENCE:
+                return _BLOCKED_MEM
+            return _READY
+        if op == OP_FENCE:
             if warp.outstanding_stores > 0:
                 if warp.fence_wait_start is None:
                     warp.fence_wait_start = now
-                return _BLOCKED_MEM, None
+                return _BLOCKED_MEM
             if now < warp.gwct:
                 # TC-Weak: the fence waits for physical visibility
                 if warp.fence_wait_start is None:
                     warp.fence_wait_start = now
-                return _BLOCKED_MEM, warp.gwct
-            return _READY, None
+                return _BLOCKED_MEM | ((warp.gwct + 1) << 3)
+            return _READY
         if self.sc and warp.outstanding_stores > 0:
-            return _BLOCKED_MEM, None
+            return _BLOCKED_MEM
         if now < warp.ready_at:
-            return _BLOCKED_COMPUTE, warp.ready_at
-        return _READY, None
+            return _BLOCKED_COMPUTE | ((warp.ready_at + 1) << 3)
+        return _READY
 
+    # _issue is the single most-fired event callback in a run.  The
+    # warp-selection scan and the instruction-issue switch are inlined
+    # into its body (rather than living in _pick_warp/_issue_instr
+    # helpers), and the scans inline _classify's cache check (dirty
+    # flag, or a cached wake time the clock has reached): the
+    # method-call overhead alone dominated the scan in profiles.
     def _issue(self) -> None:
         self._issue_event = None
-        self._end_sleep()
-        if not self.active:
-            return
-        chosen = self._pick_warp()
-        if chosen is None:
-            self._sleep()
-            return
-        self._last_warp = chosen
-        self._issue_instr(chosen)
-        if self.active:
-            self._schedule_issue(1)
-
-    def _pick_warp(self) -> Optional[Warp]:
-        """Select the next warp to issue from, per the config policy."""
-        count = len(self.active)
+        now = self.engine.now
+        start = self._sleep_start
+        if start is not None:
+            # end-of-stall accounting, inlined (one call per wake-up)
+            self._sleep_start = None
+            slept = now - start
+            if slept > 0:
+                counters = self._counters
+                counters["stall_cycles"] += slept
+                if self._sleep_mem:
+                    counters["stall_mem_cycles"] += slept
+                if self.trace is not None:
+                    self.trace.complete(
+                        start, now, self.track,
+                        "stall_mem" if self._sleep_mem else "stall")
+        active = self.active
+        count = len(active)
         if count == 0:
-            return None
+            return
+        fresh = self._classify_fresh
+
+        # -- select the next warp, per the config policy ---------------
+        chosen = None
         if self._greedy:
             # greedy-then-oldest: stick with the current warp while it
-            # can issue, else fall back to the oldest ready warp
+            # can issue, else fall back to the oldest ready warp.  A
+            # non-done warp is always resident (retiring is the only
+            # removal from active), so no membership scan is needed.
             last = self._last_warp
-            if last is not None and not last.done and \
-                    last in self.active and \
-                    self._classify(last)[0] is _READY:
-                return last
-            for warp in sorted(self.active, key=lambda w: w.uid):
-                if self._classify(warp)[0] is _READY:
-                    return warp
-            return None
-        for k in range(count):
-            warp = self.active[(self._rr + k) % count]
-            if self._classify(warp)[0] is _READY:
-                self._rr = (self._rr + k + 1) % count
-                return warp
-        return None
-
-    def _sleep(self) -> None:
-        """No warp can issue: record why and arrange a wake-up."""
-        wake: Optional[int] = None
-        any_mem = False
-        for warp in self.active:
-            state, wake_time = self._classify(warp)
-            if state is _BLOCKED_MEM:
-                any_mem = True
-            if wake_time is not None:
-                wake = wake_time if wake is None else min(wake, wake_time)
-        self._sleep_start = self.engine.now
-        self._sleep_mem = any_mem
-        if wake is not None:
-            self._schedule_issue(wake - self.engine.now)
-        # otherwise a completion callback will notify() us
-
-    def _end_sleep(self) -> None:
-        if self._sleep_start is None:
+            if last is not None and not last.done:
+                cls = last.cls
+                if last.cls_dirty or (cls >= 8 and now >= (cls >> 3) - 1):
+                    cls = last.cls = fresh(last)
+                    last.cls_dirty = False
+                if cls & 7 == _READY:
+                    chosen = last
+            if chosen is None:
+                for warp in active:  # uid-ordered by construction
+                    cls = warp.cls
+                    if warp.cls_dirty or (cls >= 8
+                                          and now >= (cls >> 3) - 1):
+                        cls = warp.cls = fresh(warp)
+                        warp.cls_dirty = False
+                    if cls & 7 == _READY:
+                        chosen = warp
+                        break
+        else:
+            rr = self._rr
+            if rr >= count:  # warps retired since the last update
+                rr %= count
+            for k in range(count):
+                index = rr + k
+                if index >= count:
+                    index -= count
+                warp = active[index]
+                cls = warp.cls
+                if warp.cls_dirty or (cls >= 8 and now >= (cls >> 3) - 1):
+                    cls = warp.cls = fresh(warp)
+                    warp.cls_dirty = False
+                if cls & 7 == _READY:
+                    index += 1
+                    self._rr = 0 if index >= count else index
+                    chosen = warp
+                    break
+        if chosen is None:
+            # no warp can issue: record why and arrange a wake-up.  The
+            # failed scan above just classified every active warp at
+            # `now`, so the cached cls values are fresh — read them
+            # directly instead of re-deriving.
+            wake: Optional[int] = None
+            any_mem = False
+            for warp in active:
+                cls = warp.cls
+                if cls & 7 == _BLOCKED_MEM:
+                    any_mem = True
+                if cls >= 8:
+                    wake_time = (cls >> 3) - 1
+                    if wake is None or wake_time < wake:
+                        wake = wake_time
+            self._sleep_start = now
+            self._sleep_mem = any_mem
+            if wake is not None:
+                self._schedule_issue(wake - now)
+            # otherwise a completion callback will notify() us
             return
-        slept = self.engine.now - self._sleep_start
-        start = self._sleep_start
-        self._sleep_start = None
-        if slept <= 0:
-            return
-        self.stats.add("stall_cycles", slept)
-        if self._sleep_mem:
-            self.stats.add("stall_mem_cycles", slept)
-        if self.trace is not None:
-            self.trace.complete(
-                start, self.engine.now, self.track,
-                "stall_mem" if self._sleep_mem else "stall")
+        self._last_warp = chosen
+
+        # -- issue one instruction from the chosen warp ----------------
+        warp = chosen
+        warp.cls_dirty = True
+        if warp.pending_addrs is not None:
+            self._issue_mem_accesses(warp)
+        else:
+            pc = warp.pc
+            op = warp.ops[pc]
+            counters = self._counters
+            counters["instructions"] += 1
+            if op == OP_COMPUTE:
+                warp.pc = pc + 1
+                warp.ready_at = now + warp.args[pc]
+            elif op <= OP_ATOMIC:      # LOAD, STORE or ATOMIC
+                counters["mem_instructions"] += 1
+                warp.pc = pc + 1
+                warp.pending_op = op
+                warp.pending_addrs = list(warp.args[pc])
+                self._issue_mem_accesses(warp)
+            elif op == OP_FENCE:
+                counters["fences"] += 1
+                if warp.fence_wait_start is not None:
+                    counters["fence_wait_cycles"] += \
+                        now - warp.fence_wait_start
+                    warp.fence_wait_start = None
+                warp.pc = pc + 1
+            else:                      # BARRIER
+                counters["barriers"] += 1
+                warp.pc = pc + 1
+                self._arrive_at_barrier(warp)
+            if warp.pc >= warp.length:  # mid-trace warps cannot retire
+                self._check_retire(warp)
+        if self.active:
+            # _schedule_issue(1), inlined; nested calls above may have
+            # scheduled an earlier issue event, which then wins
+            engine = self.engine
+            target = now + 1
+            event = self._issue_event
+            if event is not None and event[2] is not None:
+                if event[0] <= target:
+                    return
+                engine.cancel(event)
+            self._issue_event = engine.post(target, self._issue)
 
     # ------------------------------------------------------------------
     # instruction issue
     # ------------------------------------------------------------------
-    def _issue_instr(self, warp: Warp) -> None:
-        if warp.pending_addrs is not None:
-            self._issue_mem_accesses(warp)
-            return
-        instr = warp.next_instr()
-        assert instr is not None
-        self.stats.add("instructions")
-        if instr.op == COMPUTE:
-            warp.pc += 1
-            warp.ready_at = self.engine.now + instr.cycles
-        elif instr.op in (LOAD, STORE, ATOMIC):
-            self.stats.add("mem_instructions")
-            warp.pc += 1
-            warp.pending_op = instr.op
-            warp.pending_addrs = list(instr.addrs)
-            self._issue_mem_accesses(warp)
-        elif instr.op == FENCE:
-            self.stats.add("fences")
-            if warp.fence_wait_start is not None:
-                self.stats.add("fence_wait_cycles",
-                               self.engine.now - warp.fence_wait_start)
-                warp.fence_wait_start = None
-            warp.pc += 1
-        elif instr.op == BARRIER:
-            self.stats.add("barriers")
-            warp.pc += 1
-            self._arrive_at_barrier(warp)
-        self._check_retire(warp)
-
     def _issue_mem_accesses(self, warp: Warp) -> None:
-        assert warp.pending_addrs is not None
+        warp.cls_dirty = True
+        pending = warp.pending_addrs
         op = warp.pending_op
-        remaining: List[int] = []
-        for index, addr in enumerate(warp.pending_addrs):
-            if op == LOAD:
-                accepted = self.l1.load(warp, addr,
-                                        self._load_done(warp))
-                if accepted:
-                    warp.outstanding_loads += 1
-            elif op == ATOMIC:
-                # an atomic returns a value: it blocks the warp like a
-                # load (tracked as an outstanding load)
-                accepted = self.l1.atomic(warp, addr,
-                                          self._load_done(warp))
-                if accepted:
+        l1 = self.l1
+        # hoist the per-op dispatch out of the per-address loop
+        if op == OP_LOAD:
+            issue, callback, store = l1.load, warp.load_cb, False
+        elif op == OP_ATOMIC:
+            # an atomic returns a value: it blocks the warp like a
+            # load (tracked as an outstanding load)
+            issue, callback, store = l1.atomic, warp.load_cb, False
+        else:
+            issue, callback, store = l1.store, warp.store_cb, True
+        remaining: Optional[List[int]] = None
+        for index, addr in enumerate(pending):
+            if issue(warp, addr, callback):
+                if store:
+                    warp.outstanding_stores += 1
+                else:
                     warp.outstanding_loads += 1
             else:
-                accepted = self.l1.store(warp, addr,
-                                         self._store_done(warp))
-                if accepted:
-                    warp.outstanding_stores += 1
-            if not accepted:
                 # structural hazard: park the rest and retry later
-                remaining.extend(warp.pending_addrs[index:])
+                remaining = pending[index:]
                 break
         if remaining:
             warp.pending_addrs = remaining
@@ -347,16 +447,5 @@ class SM:
             self.stats.add("barrier_releases")
             for member in alive:
                 member.barrier_blocked = False
+                member.cls_dirty = True
             self._schedule_issue(0)
-
-    def _load_done(self, warp: Warp):
-        def callback() -> None:
-            warp.outstanding_loads -= 1
-            self.notify(warp)
-        return callback
-
-    def _store_done(self, warp: Warp):
-        def callback() -> None:
-            warp.outstanding_stores -= 1
-            self.notify(warp)
-        return callback

@@ -4,33 +4,62 @@ A warp executes its trace in program order.  Loads block the warp
 until data returns (the next instruction is presumed dependent — GPUs
 hide latency across warps, not within one).  Stores block only under
 SC; under RC they are tracked as outstanding and drained by fences.
+
+The trace is held in compiled form (see :mod:`repro.trace.compiled`):
+``ops``/``args`` are the packed per-instruction lists the SM hot path
+indexes directly.  A plain list of :class:`Instr` is accepted and
+compiled on the spot, so hand-built unit-test warps keep working.
+
+Two pieces of scheduler plumbing also live here because they are
+per-warp state:
+
+* ``load_cb`` / ``store_cb`` — the warp's preallocated memory
+  completion callbacks, bound once when the SM takes ownership
+  (:meth:`bind`).  The L1/L2/NoC completion path carries these exact
+  objects, so issuing a memory access allocates no closure.
+* ``cls`` / ``cls_dirty`` — the SM scheduler's cached classification
+  of this warp (packed int: state in the low 3 bits, wake time + 1 in
+  the rest).  Any mutation of schedule-relevant state must set
+  ``cls_dirty``; completion callbacks and the SM's issue path do.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Union
 
-from repro.trace.instr import FENCE, Instr
+from repro.trace.compiled import (
+    OP_FENCE,
+    CompiledTrace,
+    compile_trace,
+)
+from repro.trace.instr import Instr
 
 
 class Warp:
     """One warp's architectural and scheduling state."""
 
     __slots__ = (
-        "uid", "cta_id", "trace", "pc",
+        "uid", "cta_id", "trace", "ops", "args", "length", "pc",
         "ts", "epoch", "gwct",
         "outstanding_loads", "outstanding_stores",
         "pending_addrs", "pending_op", "retry_at",
         "ready_at", "done", "barrier_blocked",
         "fence_wait_start",
+        "sm", "load_cb", "store_cb", "cls", "cls_dirty",
     )
 
-    def __init__(self, uid: int, trace: List[Instr],
+    def __init__(self, uid: int,
+                 trace: Union[CompiledTrace, List[Instr]],
                  cta_id: int = -1) -> None:
         self.uid = uid
         # CTA membership; -1 means the warp is its own CTA
         self.cta_id = cta_id if cta_id >= 0 else uid
+        if not isinstance(trace, CompiledTrace):
+            trace = compile_trace(trace)
         self.trace = trace
+        self.ops = trace.ops
+        self.args = trace.args
+        self.length = trace.length
         self.pc = 0
         # logical clock (G-TSC); all warp timestamps start at 1
         self.ts = 1
@@ -42,7 +71,7 @@ class Warp:
         # line addresses of the current memory instruction not yet
         # accepted by the L1 (MSHR back-pressure)
         self.pending_addrs: Optional[List[int]] = None
-        self.pending_op: Optional[str] = None
+        self.pending_op: Optional[int] = None
         self.retry_at = 0
         # compute-blocked until this cycle
         self.ready_at = 0
@@ -51,19 +80,68 @@ class Warp:
         self.barrier_blocked = False
         # cycle at which this warp started waiting at a fence (stats)
         self.fence_wait_start: Optional[int] = None
+        # owning SM and prebound completion callbacks (see bind)
+        self.sm = None
+        self.load_cb = None
+        self.store_cb = None
+        # cached scheduler classification (always recompute initially)
+        self.cls = 0
+        self.cls_dirty = True
+
+    def bind(self, sm) -> None:
+        """Attach to the owning SM and prebind completion callbacks."""
+        self.sm = sm
+        self.load_cb = self._load_done
+        self.store_cb = self._store_done
+
+    # The completion callbacks inline SM.notify(self): these fire once
+    # per memory access in every run, and the extra frame showed up in
+    # profiles.  Keep in sync with SM.notify / SM._check_retire.
+    def _load_done(self) -> None:
+        self.outstanding_loads -= 1
+        self.cls_dirty = True
+        sm = self.sm
+        if self.pc >= self.length:
+            sm._check_retire(self)
+        if sm.active:
+            engine = sm.engine
+            now = engine.now
+            event = sm._issue_event
+            if event is not None and event[2] is not None:
+                if event[0] <= now:
+                    return
+                engine.cancel(event)
+            sm._issue_event = engine.post(now, sm._issue)
+
+    def _store_done(self) -> None:
+        self.outstanding_stores -= 1
+        self.cls_dirty = True
+        sm = self.sm
+        if self.pc >= self.length:
+            sm._check_retire(self)
+        if sm.active:
+            engine = sm.engine
+            now = engine.now
+            event = sm._issue_event
+            if event is not None and event[2] is not None:
+                if event[0] <= now:
+                    return
+                engine.cancel(event)
+            sm._issue_event = engine.post(now, sm._issue)
 
     @property
     def finished_trace(self) -> bool:
-        return self.pc >= len(self.trace)
+        return self.pc >= self.length
 
     def next_instr(self) -> Optional[Instr]:
-        if self.finished_trace:
+        """The next instruction at authoring level (tests/debugging —
+        the SM reads ``ops``/``args`` directly)."""
+        if self.pc >= self.length:
             return None
-        return self.trace[self.pc]
+        return self.trace.instr_at(self.pc)
 
     def at_fence(self) -> bool:
-        instr = self.next_instr()
-        return instr is not None and instr.op == FENCE
+        return self.pc < self.length and self.ops[self.pc] == OP_FENCE
 
     def drained(self) -> bool:
         """No outstanding memory operations of any kind."""
@@ -73,6 +151,6 @@ class Warp:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"<warp {self.uid} pc={self.pc}/{len(self.trace)} ts={self.ts} "
+            f"<warp {self.uid} pc={self.pc}/{self.length} ts={self.ts} "
             f"ldo={self.outstanding_loads} sto={self.outstanding_stores}>"
         )

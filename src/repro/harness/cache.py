@@ -27,7 +27,7 @@ import json
 import os
 import tempfile
 import warnings
-from typing import Dict, Optional
+from typing import Dict
 
 import repro
 from repro.config import GPUConfig
@@ -67,13 +67,22 @@ def run_key(config: GPUConfig, workload: str, scale: float,
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-class RunCache:
-    """JSON-per-run store keyed by :func:`run_key`.
+class JsonFileCache:
+    """Generic JSON-per-entry store keyed by digest strings.
 
-    Writes are atomic (temp file + rename) so a crashed or interrupted
-    run never leaves a half-written entry; readers treat anything
-    unparsable as a miss.
+    Pure storage mechanics, shared by the run cache below and the
+    compiled-trace cache in :mod:`repro.workloads`: one ``<key>.json``
+    file per entry, atomic writes (temp file + rename) so a crashed or
+    interrupted process never leaves a half-written entry, and
+    hit/miss counters.  Anything unreadable or unparsable is a miss —
+    corruption is reported through :mod:`warnings` with the offending
+    path and then overwritten by the fresh result.
     """
+
+    #: label used in corruption warnings ("run-cache", "trace-cache")
+    what = "cache"
+    #: what happens after a corrupt entry is discarded
+    recovery = "regenerating"
 
     def __init__(self, cache_dir: str) -> None:
         self.cache_dir = cache_dir
@@ -83,8 +92,20 @@ class RunCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.cache_dir, key + ".json")
 
-    def get(self, key: str) -> Optional[RunStats]:
-        """The cached result for ``key``, or None on miss/corruption."""
+    def _decode(self, data):
+        """Turn the raw JSON payload into the cached object.
+
+        Subclasses override; raising ``ValueError``/``KeyError``/
+        ``TypeError`` marks the entry as corrupt.
+        """
+        return data
+
+    def _encode(self, value):
+        """Turn the cached object into a JSON-serializable payload."""
+        return value
+
+    def get(self, key: str):
+        """The cached value for ``key``, or None on miss/corruption."""
         path = self._path(key)
         try:
             handle = open(path)
@@ -94,26 +115,27 @@ class RunCache:
         try:
             with handle:
                 data = json.load(handle)
-            stats = RunStats.from_dict(data)
+            value = self._decode(data)
         except (OSError, ValueError, KeyError, TypeError) as error:
             warnings.warn(
-                f"corrupt run-cache entry {path}: "
-                f"{type(error).__name__}: {error}; re-simulating",
+                f"corrupt {self.what} entry {path}: "
+                f"{type(error).__name__}: {error}; {self.recovery}",
                 RuntimeWarning, stacklevel=2)
             self.misses += 1
             return None
         self.hits += 1
-        return stats
+        return value
 
-    def put(self, key: str, stats: RunStats) -> None:
-        """Persist ``stats`` under ``key`` (atomic, best-effort)."""
+    def put(self, key: str, value) -> None:
+        """Persist ``value`` under ``key`` (atomic, best-effort)."""
         try:
             os.makedirs(self.cache_dir, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=self.cache_dir,
                                        suffix=".tmp")
             try:
                 with os.fdopen(fd, "w") as handle:
-                    json.dump(stats.to_dict(), handle, sort_keys=True)
+                    json.dump(self._encode(value), handle,
+                              sort_keys=True)
                 os.replace(tmp, self._path(key))
             except BaseException:
                 os.unlink(tmp)
@@ -124,3 +146,16 @@ class RunCache:
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses}
+
+
+class RunCache(JsonFileCache):
+    """JSON-per-run store of :class:`RunStats` keyed by :func:`run_key`."""
+
+    what = "run-cache"
+    recovery = "re-simulating"
+
+    def _decode(self, data) -> RunStats:
+        return RunStats.from_dict(data)
+
+    def _encode(self, stats: RunStats):
+        return stats.to_dict()

@@ -15,9 +15,12 @@ are bit-identical to a sequential run — the simulator itself is
 seeded and single-threaded, and result ordering is fixed by the
 point list, never by completion order.
 
-``jobs=1`` short-circuits to the in-process sequential path, which
+``jobs`` defaults to one worker per available CPU core.  ``jobs=1``
+(explicit, or the default on a single-core machine) short-circuits to
+the in-process sequential path — no process pool, no pickling — which
 keeps the class usable (and debuggable) where ``fork``/``spawn`` is
-unavailable or unwanted.
+unavailable or unwanted and avoids paying spawn overhead where
+parallelism cannot win.
 """
 
 from __future__ import annotations
@@ -35,13 +38,16 @@ from repro.workloads import build_workload
 
 
 def _simulate_point(preset: str, scale: float, seed: int,
-                    config_overrides: Tuple, point: Point) -> Dict:
+                    config_overrides: Tuple, point: Point,
+                    trace_cache_dir: Optional[str] = None) -> Dict:
     """Worker entry: simulate one point, return a picklable payload.
 
     Top-level (not a closure/method) so it pickles under both the
     ``fork`` and ``spawn`` start methods.  Reconstructs the config the
     same way :meth:`ExperimentRunner.base_config` does, so parent and
-    worker agree on every parameter.
+    worker agree on every parameter.  ``trace_cache_dir`` lets workers
+    share the parent's on-disk compiled-trace cache instead of each
+    re-generating the workload.
     """
     from repro.config import GPUConfig
 
@@ -51,7 +57,8 @@ def _simulate_point(preset: str, scale: float, seed: int,
     merged.update(overrides)
     config = factory(protocol=protocol, consistency=consistency,
                      **merged)
-    kernel = build_workload(workload, scale=scale, seed=seed)
+    kernel = build_workload(workload, scale=scale, seed=seed,
+                            cache_dir=trace_cache_dir)
     stats = GPU(config, record_accesses=False).run(kernel)
     return stats.to_dict()
 
@@ -66,14 +73,19 @@ class ParallelRunner(ExperimentRunner):
     processes at all.
     """
 
-    def __init__(self, jobs: int = 2, preset: str = "small",
+    def __init__(self, jobs: Optional[int] = None, preset: str = "small",
                  scale: float = 0.5, seed: int = 2018,
                  cache_dir: Optional[str] = None,
                  progress: bool = False, **config_overrides) -> None:
-        if jobs < 1:
-            raise ValueError("jobs must be >= 1")
         cores = os.cpu_count() or 1
-        if jobs > cores:
+        if jobs is None:
+            # default to the machine: one worker per core, which on a
+            # single-core box means the in-process path with no pool,
+            # no pickling, and no clamp warning
+            jobs = cores
+        elif jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        elif jobs > cores:
             # oversubscription is a measured loss on this workload
             # (0.73x at jobs=4 on a 1-core box), not just a no-op
             warnings.warn(
@@ -132,7 +144,8 @@ class ParallelRunner(ExperimentRunner):
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             futures = [
                 pool.submit(_simulate_point, self.preset, self.scale,
-                            self.seed, overrides_key, point)
+                            self.seed, overrides_key, point,
+                            self.trace_cache_dir)
                 for point in missing
             ]
             # iterate in submission order: results land deterministically

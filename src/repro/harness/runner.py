@@ -16,6 +16,7 @@ Two optional accelerators sit on top of the in-memory memo:
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from typing import Dict, Iterable, Optional, Tuple
@@ -24,6 +25,7 @@ from repro.config import Consistency, GPUConfig, Protocol
 from repro.gpu.gpu import GPU
 from repro.harness.cache import RunCache, run_key
 from repro.stats.collector import RunStats
+from repro.trace.compiled import CompiledKernel, compile_kernel
 from repro.workloads import build_workload
 
 # one simulation point: (workload, protocol, consistency, overrides)
@@ -51,6 +53,12 @@ class ExperimentRunner:
         self.config_overrides = dict(config_overrides)
         self._cache: Dict[Point, RunStats] = {}
         self.disk_cache = RunCache(cache_dir) if cache_dir else None
+        # compiled workload traces: generated (or read from the trace
+        # cache under <cache_dir>/traces) once, shared by every config
+        # that runs the same workload at this runner's scale and seed
+        self.trace_cache_dir = (os.path.join(cache_dir, "traces")
+                                if cache_dir else None)
+        self._kernels: Dict[str, CompiledKernel] = {}
         #: actual simulations performed (cache hits don't count)
         self.simulations_run = 0
         #: emit live heartbeat lines to stderr during batch prefetches
@@ -82,9 +90,20 @@ class ExperimentRunner:
     def _disk_key(self, workload: str, config: GPUConfig) -> str:
         return run_key(config, workload, self.scale, self.seed)
 
+    def _kernel(self, workload: str) -> CompiledKernel:
+        """The compiled trace for ``workload``, built at most once."""
+        kernel = self._kernels.get(workload)
+        if kernel is None:
+            kernel = build_workload(workload, scale=self.scale,
+                                    seed=self.seed,
+                                    cache_dir=self.trace_cache_dir)
+            if not isinstance(kernel, CompiledKernel):
+                kernel = compile_kernel(kernel)
+            self._kernels[workload] = kernel
+        return kernel
+
     def _simulate(self, workload: str, config: GPUConfig) -> RunStats:
-        kernel = build_workload(workload, scale=self.scale,
-                                seed=self.seed)
+        kernel = self._kernel(workload)
         self.simulations_run += 1
         return GPU(config, record_accesses=False).run(kernel)
 

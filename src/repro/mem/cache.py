@@ -100,11 +100,13 @@ class CacheArray:
     # -- queries ---------------------------------------------------------------
     def lookup(self, addr: int, touch: bool = True) -> Optional[CacheLine]:
         """Return the valid line holding ``addr``, or None (no side effects
-        beyond an LRU touch)."""
-        for line in self._set_of(addr):
-            if line.valid and line.addr == addr:
+        beyond an LRU touch).  ``_set_of``/``_touch`` are inlined: this
+        runs for every L1 and L2 access."""
+        for line in self._sets[addr % self.num_sets]:
+            if line.addr == addr and line.valid:
                 if touch:
-                    self._touch(line)
+                    self._tick += 1
+                    line.lru = self._tick
                 return line
         return None
 

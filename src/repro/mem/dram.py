@@ -9,7 +9,7 @@ see queuing delay on top of the base latency.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 from repro.sim.engine import Engine
 from repro.stats.collector import StatsCollector
@@ -33,18 +33,22 @@ class DRAMPartition:
         # observability: set to a repro.obs.Tracer to record accesses
         self.trace = None
 
-    def _schedule(self, done: Callable[[], None]) -> int:
-        start = max(self._free_at, self.engine.now)
+    def _schedule(self, done: Callable[..., None], *args: Any) -> int:
+        engine = self.engine
+        now = engine.now
+        free_at = self._free_at
+        start = free_at if free_at > now else now
         finish = start + self.service_time
         self._free_at = finish
         completion = finish + self.latency
-        self.engine.at(completion, done)
+        engine.post(completion, done, args)
         return completion
 
-    def read(self, addr: int, done: Callable[[], None]) -> int:
-        """Fetch one line; ``done`` fires when data is available at L2."""
-        self.stats.add("dram_reads")
-        completion = self._schedule(done)
+    def read(self, addr: int, done: Callable[..., None],
+             *args: Any) -> int:
+        """Fetch one line; ``done(*args)`` fires when data reaches L2."""
+        self.stats.counters["dram_reads"] += 1
+        completion = self._schedule(done, *args)
         if self.trace is not None:
             self.trace.complete(self.engine.now, completion, self.name,
                                 "read", {"addr": addr})

@@ -63,14 +63,17 @@ class MSHRTable:
         access after ``mshr_retry_interval`` cycles, which models the
         structural-stall back-pressure of a real MSHR file.
         """
-        entry = self._entries.get(addr)
+        entries = self._entries
+        entry = entries.get(addr)
         if entry is not None:
             return entry
-        if self.full:
+        if len(entries) >= self.capacity:
             raise MSHRFullError(f"MSHR full ({self.capacity}) for {addr:#x}")
         entry = MSHREntry(addr)
-        self._entries[addr] = entry
-        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        entries[addr] = entry
+        occupancy = len(entries)
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
         return entry
 
     def release(self, addr: int) -> MSHREntry:

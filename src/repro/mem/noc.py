@@ -15,7 +15,8 @@ regenerated directly from the counters.
 
 from __future__ import annotations
 
-from typing import Callable, Hashable
+from heapq import heappush
+from typing import Any, Callable, Hashable
 
 from repro.sim.engine import Engine
 from repro.stats.collector import StatsCollector
@@ -42,6 +43,11 @@ class Network:
         self.base_latency = base_latency
         self.port_bandwidth = port_bandwidth
         self._ports: dict[Hashable, _Port] = {}
+        # hot-path caches: the raw counter mapping (send() increments
+        # it directly, skipping a method call per counter) and the
+        # interned per-class byte-counter names
+        self._counters = stats.counters
+        self._kind_keys: dict[str, str] = {}
         # accumulated (latency, messages) for average-latency reporting
         self.total_latency = 0
         self.total_messages = 0
@@ -56,11 +62,13 @@ class Network:
         return port
 
     def send(self, src: Hashable, dst: Hashable, size: int, kind: str,
-             deliver: Callable[[], None]) -> int:
+             deliver: Callable[..., None], *args: Any) -> int:
         """Inject a ``size``-byte message of class ``kind`` at ``src``.
 
-        ``deliver`` fires when the message arrives at ``dst``.  Returns
-        the delivery cycle.  ``dst`` only matters for accounting — the
+        ``deliver(*args)`` fires when the message arrives at ``dst`` —
+        passing the payload as ``args`` (rather than closing over it)
+        keeps the completion path allocation-free.  Returns the
+        delivery cycle.  ``dst`` only matters for accounting — the
         fabric itself is contention-free past the injection port, which
         matches the "bandwidth-limited endpoints" abstraction used by
         GPGPU-Sim's ideal-NoC configurations.
@@ -68,26 +76,36 @@ class Network:
         if size <= 0:
             raise ValueError("message size must be positive")
         engine = self.engine
-        port = self._port(src)
-        start = max(port.free_at, engine.now)
+        now = engine.now
+        port = self._ports.get(src)
+        if port is None:
+            port = self._port(src)
+        free_at = port.free_at
+        start = free_at if free_at > now else now
         # ceil-divide: a message holds its port for at least one cycle
-        serialize = -(-size // self.port_bandwidth)
-        depart = start + serialize
+        depart = start + -(-size // self.port_bandwidth)
         port.free_at = depart
         arrival = depart + self.base_latency
 
-        self.stats.add("noc_bytes", size)
-        self.stats.add(f"noc_bytes_{kind}", size)
-        self.stats.add("noc_messages")
-        latency = arrival - engine.now
-        self.total_latency += latency
+        counters = self._counters
+        counters["noc_bytes"] += size
+        key = self._kind_keys.get(kind)
+        if key is None:
+            key = self._kind_keys[kind] = "noc_bytes_" + kind
+        counters[key] += size
+        counters["noc_messages"] += 1
+        self.total_latency += arrival - now
         self.total_messages += 1
         if self.trace is not None:
             self.trace.complete(
-                engine.now, arrival, "noc", f"{kind}:{src}->{dst}",
+                now, arrival, "noc", f"{kind}:{src}->{dst}",
                 {"bytes": size})
 
-        engine.at(arrival, deliver)
+        # Engine.post, inlined: every message crosses this line, and
+        # arrival >= now by construction, so the fast path applies.
+        seq = engine._seq
+        engine._seq = seq + 1
+        heappush(engine._heap, [arrival, seq, deliver, args])
         return arrival
 
     @property
@@ -127,6 +145,10 @@ class MeshNetwork:
         self.rows = -(-nodes // self.cols)
         # directed link (from_node, to_node) -> time it frees up
         self._links: dict = {}
+        self._counters = stats.counters
+        self._kind_keys: dict[str, str] = {}
+        # (src, dst) -> precomputed XY path (topology is static)
+        self._routes: dict = {}
         self.total_latency = 0
         self.total_messages = 0
         self.trace = None
@@ -159,33 +181,45 @@ class MeshNetwork:
 
     # -- transmission ------------------------------------------------------------
     def send(self, src: Hashable, dst: Hashable, size: int, kind: str,
-             deliver: Callable[[], None]) -> int:
+             deliver: Callable[..., None], *args: Any) -> int:
         if size <= 0:
             raise ValueError("message size must be positive")
         engine = self.engine
+        now = engine.now
         serialize = -(-size // self.link_bandwidth)
-        path = self.route(src, dst)
-        cursor = engine.now
+        path = self._routes.get((src, dst))
+        if path is None:
+            path = self._routes[(src, dst)] = self.route(src, dst)
+        links = self._links
+        cursor = now
         for link in path:
-            free_at = self._links.get(link, 0)
-            start = max(cursor, free_at)
-            cursor = start + serialize
-            self._links[link] = cursor
-        arrival = cursor + self.hop_latency * max(1, len(path))
+            free_at = links.get(link, 0)
+            if free_at > cursor:
+                cursor = free_at
+            cursor += serialize
+            links[link] = cursor
+        hops = len(path)
+        arrival = cursor + self.hop_latency * (hops if hops else 1)
 
-        self.stats.add("noc_bytes", size)
-        self.stats.add(f"noc_bytes_{kind}", size)
-        self.stats.add("noc_messages")
-        self.stats.add("noc_hops", len(path))
-        latency = arrival - engine.now
-        self.total_latency += latency
+        counters = self._counters
+        counters["noc_bytes"] += size
+        key = self._kind_keys.get(kind)
+        if key is None:
+            key = self._kind_keys[kind] = "noc_bytes_" + kind
+        counters[key] += size
+        counters["noc_messages"] += 1
+        counters["noc_hops"] += hops
+        self.total_latency += arrival - now
         self.total_messages += 1
         if self.trace is not None:
             self.trace.complete(
-                engine.now, arrival, "noc", f"{kind}:{src}->{dst}",
-                {"bytes": size, "hops": len(path)})
+                now, arrival, "noc", f"{kind}:{src}->{dst}",
+                {"bytes": size, "hops": hops})
 
-        engine.at(arrival, deliver)
+        # Engine.post, inlined (see Network.send)
+        seq = engine._seq
+        engine._seq = seq + 1
+        heappush(engine._heap, [arrival, seq, deliver, args])
         return arrival
 
     @property

@@ -32,6 +32,10 @@ class Message:
     """
 
     kind = "ctrl"
+    # True when every instance of the class has the same on-wire size,
+    # letting the Machine cache the size per class.  Classes whose
+    # payload varies per instance (e.g. MESI's InvAck) must set False.
+    uniform_size = True
 
     __slots__ = ("addr", "sm")
 
@@ -128,8 +132,10 @@ class L1ControllerBase:
     through the ``on_done`` callback.
     """
 
-    __slots__ = ("sm_id", "machine", "config", "engine", "stats", "mshr",
-                 "trace", "audit", "track")
+    __slots__ = ("sm_id", "machine", "config", "engine", "stats",
+                 "_counters", "_l1_latency", "_load_hist", "_store_hist",
+                 "_atomic_hist", "_num_banks", "_port", "mshr", "trace",
+                 "audit", "track")
 
     def __init__(self, sm_id: int, machine: "Machine") -> None:
         self.sm_id = sm_id
@@ -137,6 +143,19 @@ class L1ControllerBase:
         self.config = machine.config
         self.engine = machine.engine
         self.stats = machine.stats
+        # raw counter mapping for the load/store hot paths
+        self._counters = machine.stats.counters
+        self._l1_latency = machine.config.l1_latency
+        # latency histograms, bound lazily on first sample so that a
+        # run's set of existing histograms is unchanged (RunStats
+        # equality and the golden fixtures depend on which histograms
+        # exist, not just their contents)
+        self._load_hist = None
+        self._store_hist = None
+        self._atomic_hist = None
+        # request-routing caches for the inlined _send below
+        self._num_banks = machine.config.num_l2_banks
+        self._port = ("sm", sm_id)
         self.mshr = MSHRTable(machine.config.l1_mshr_entries)
         # observability refs, cached once; None keeps the hot paths to
         # a single identity check per instrumentation point
@@ -168,13 +187,24 @@ class L1ControllerBase:
 
     # -- helpers -----------------------------------------------------------------
     def _send(self, msg: Message) -> None:
-        """Route a request to the home L2 bank of ``msg.addr``."""
-        self.machine.send_to_bank(self.sm_id, msg)
+        """Route a request to the home L2 bank of ``msg.addr``.
+
+        ``Machine.send_to_bank``, inlined: every request crosses this
+        method, and the extra frame showed up in profiles.
+        """
+        machine = self.machine
+        bank_id = msg.addr % self._num_banks
+        size = machine._msg_sizes.get(type(msg))
+        if size is None:
+            size = machine._size_of(msg)
+        machine.noc.send(self._port, machine._bank_ports[bank_id], size,
+                         msg.kind, machine.l2_banks[bank_id].receive, msg)
 
     def _complete(self, callback: Callable[[], None],
                   delay: int = 0) -> None:
         """Fire an SM completion callback ``delay`` cycles from now."""
-        self.engine.schedule(delay, callback)
+        engine = self.engine
+        engine.post(engine.now + delay, callback)
 
 
 # ---------------------------------------------------------------------------
@@ -192,8 +222,8 @@ class L2BankBase:
     """
 
     __slots__ = ("bank_id", "machine", "config", "engine", "stats",
-                 "cache", "mshr", "dram", "_ready_at",
-                 "trace", "audit", "track")
+                 "_counters", "_port", "cache", "mshr", "dram", "_ready_at",
+                 "_l2_service", "_l2_latency", "trace", "audit", "track")
 
     def __init__(self, bank_id: int, machine: "Machine") -> None:
         self.bank_id = bank_id
@@ -201,6 +231,10 @@ class L2BankBase:
         self.config = machine.config
         self.engine = machine.engine
         self.stats = machine.stats
+        self._counters = machine.stats.counters
+        self._l2_service = machine.config.l2_service
+        self._l2_latency = machine.config.l2_latency
+        self._port = ("l2", bank_id)
         self.cache = CacheArray(machine.config.l2_sets,
                                 machine.config.l2_assoc)
         self.mshr = MSHRTable(machine.config.l2_mshr_entries)
@@ -214,10 +248,13 @@ class L2BankBase:
     # -- arrival / pipeline --------------------------------------------------
     def receive(self, msg: Message) -> None:
         """A request arrived from the NoC; enter the bank pipeline."""
-        self.stats.add("l2_access")
-        start = max(self._ready_at, self.engine.now)
-        self._ready_at = start + self.config.l2_service
-        self.engine.at(start + self.config.l2_latency, self._process, msg)
+        self._counters["l2_access"] += 1
+        engine = self.engine
+        now = engine.now
+        ready = self._ready_at
+        start = ready if ready > now else now
+        self._ready_at = start + self._l2_service
+        engine.post(start + self._l2_latency, self._process, (msg,))
 
     def _process(self, msg: Message) -> None:
         raise NotImplementedError
@@ -240,7 +277,7 @@ class L2BankBase:
         entry.waiters.append(msg)
         if not entry.issued:
             entry.issued = True
-            self.dram.read(msg.addr, lambda a=msg.addr: self._dram_fill(a))
+            self.dram.read(msg.addr, self._dram_fill, msg.addr)
 
     def _dram_fill(self, addr: int) -> None:
         """Data returned from DRAM: install the line, replay waiters."""
@@ -271,4 +308,10 @@ class L2BankBase:
 
     # -- response path -----------------------------------------------------------
     def _reply(self, sm_id: int, msg: Message) -> None:
-        self.machine.send_to_sm(self.bank_id, sm_id, msg)
+        # Machine.send_to_sm, inlined (see L1ControllerBase._send)
+        machine = self.machine
+        size = machine._msg_sizes.get(type(msg))
+        if size is None:
+            size = machine._size_of(msg)
+        machine.noc.send(self._port, machine._sm_ports[sm_id], size,
+                         msg.kind, machine.l1s[sm_id].receive, msg)

@@ -121,6 +121,7 @@ class Inv(Message):
 class InvAck(Message):
     """Invalidation acknowledgment (carries data when it was M)."""
 
+    uniform_size = False
     __slots__ = ("version", "had_data")
 
     def __init__(self, addr: int, sm: int, version: int = 0,

@@ -36,6 +36,8 @@ class _AtomicMixin:
     forward the RMW to the L2 (invalidating any local copy) and match
     responses FIFO per line."""
 
+    __slots__ = ()
+
     def _init_atomics(self) -> None:
         self._pending_atomics: Dict[int, Deque[PendingAtomic]] = {}
 
@@ -43,29 +45,36 @@ class _AtomicMixin:
                on_done: Callable[[], None]) -> bool:
         cache = getattr(self, "cache", None)
         if cache is not None:
-            self.stats.add("l1_access")
-            self.stats.add("l1_atomic")
+            counters = self._counters
+            counters["l1_access"] += 1
+            counters["l1_atomic"] += 1
             cache.invalidate(addr)
         version = self.machine.versions.new_version(addr)
         pending = PendingAtomic(warp, addr, version, on_done,
                                 self.engine.now)
-        self._pending_atomics.setdefault(addr, deque()).append(pending)
+        queue = self._pending_atomics.get(addr)
+        if queue is None:
+            queue = self._pending_atomics[addr] = deque()
+        queue.append(pending)
         self._send(MemAtm(addr, self.sm_id, version))
         return True
 
     def _on_atomic_ack(self, msg: "MemAtmAck") -> None:
         pending = pop_pending(self._pending_atomics[msg.addr], msg.version)
-        self.machine.log.record_atomic(AtomicRecord(
-            warp_uid=pending.warp.uid,
-            addr=msg.addr,
-            old_version=msg.old_version,
-            new_version=pending.version,
-            logical_ts=0,
-            epoch=0,
-            issue_cycle=pending.issue_cycle,
-            complete_cycle=self.engine.now,
-        ))
-        self._complete(pending.on_done)
+        log = self.machine.log
+        if log.enabled:
+            log.atomics.append(AtomicRecord(
+                warp_uid=pending.warp.uid,
+                addr=msg.addr,
+                old_version=msg.old_version,
+                new_version=pending.version,
+                logical_ts=0,
+                epoch=0,
+                issue_cycle=pending.issue_cycle,
+                complete_cycle=self.engine.now,
+            ))
+        engine = self.engine
+        engine.post(engine.now, pending.on_done)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.machine import Machine
@@ -86,7 +95,8 @@ class MemWr(Message):
     __slots__ = ("version",)
 
     def __init__(self, addr: int, sm: int, version: int) -> None:
-        super().__init__(addr, sm)
+        self.addr = addr
+        self.sm = sm
         self.version = version
 
     def payload_bytes(self, config) -> int:
@@ -98,7 +108,8 @@ class MemFill(Message):
     __slots__ = ("version",)
 
     def __init__(self, addr: int, sm: int, version: int) -> None:
-        super().__init__(addr, sm)
+        self.addr = addr
+        self.sm = sm
         self.version = version
 
     def payload_bytes(self, config) -> int:
@@ -110,7 +121,8 @@ class MemAck(Message):
     __slots__ = ("version",)
 
     def __init__(self, addr: int, sm: int, version: int = None) -> None:
-        super().__init__(addr, sm)
+        self.addr = addr
+        self.sm = sm
         self.version = version
 
 
@@ -119,7 +131,8 @@ class MemAtm(Message):
     __slots__ = ("version",)
 
     def __init__(self, addr: int, sm: int, version: int) -> None:
-        super().__init__(addr, sm)
+        self.addr = addr
+        self.sm = sm
         self.version = version
 
     def payload_bytes(self, config) -> int:
@@ -132,7 +145,8 @@ class MemAtmAck(Message):
 
     def __init__(self, addr: int, sm: int, old_version: int,
                  version: int = None) -> None:
-        super().__init__(addr, sm)
+        self.addr = addr
+        self.sm = sm
         self.old_version = old_version
         self.version = version
 
@@ -147,6 +161,8 @@ class MemAtmAck(Message):
 class DisabledL1Controller(_AtomicMixin, L1ControllerBase):
     """Coherence by construction: every access goes straight to L2."""
 
+    __slots__ = ("_load_waiters", "_pending_stores", "_pending_atomics")
+
     def __init__(self, sm_id: int, machine: "Machine") -> None:
         super().__init__(sm_id, machine)
         # responses return in per-(SM, bank) FIFO order, so plain
@@ -158,7 +174,10 @@ class DisabledL1Controller(_AtomicMixin, L1ControllerBase):
     def load(self, warp: "Warp", addr: int,
              on_done: Callable[[], None]) -> bool:
         waiter = LoadWaiter(warp, on_done, self.engine.now)
-        self._load_waiters.setdefault(addr, deque()).append(waiter)
+        queue = self._load_waiters.get(addr)
+        if queue is None:
+            queue = self._load_waiters[addr] = deque()
+        queue.append(waiter)
         self._send(MemRd(addr, self.sm_id))
         return True
 
@@ -167,38 +186,48 @@ class DisabledL1Controller(_AtomicMixin, L1ControllerBase):
         version = self.machine.versions.new_version(addr)
         pending = PendingStore(warp, addr, version, on_done,
                                self.engine.now)
-        self._pending_stores.setdefault(addr, deque()).append(pending)
+        queue = self._pending_stores.get(addr)
+        if queue is None:
+            queue = self._pending_stores[addr] = deque()
+        queue.append(pending)
         self._send(MemWr(addr, self.sm_id, version))
         return True
 
     def receive(self, msg: Message) -> None:
-        if isinstance(msg, MemFill):
+        cls = type(msg)
+        if cls is MemFill:
             waiter = self._load_waiters[msg.addr].popleft()
-            self.machine.log.record_load(LoadRecord(
-                warp_uid=waiter.warp.uid,
-                addr=msg.addr,
-                version=msg.version,
-                logical_ts=0,
-                epoch=0,
-                issue_cycle=waiter.issue_cycle,
-                complete_cycle=self.engine.now,
-                l1_hit=False,
-            ))
-            self._complete(waiter.on_done)
-        elif isinstance(msg, MemAck):
+            log = self.machine.log
+            if log.enabled:
+                log.loads.append(LoadRecord(
+                    warp_uid=waiter.warp.uid,
+                    addr=msg.addr,
+                    version=msg.version,
+                    logical_ts=0,
+                    epoch=0,
+                    issue_cycle=waiter.issue_cycle,
+                    complete_cycle=self.engine.now,
+                    l1_hit=False,
+                ))
+            engine = self.engine
+            engine.post(engine.now, waiter.on_done)
+        elif cls is MemAck:
             pending = pop_pending(self._pending_stores[msg.addr],
                                   msg.version)
-            self.machine.log.record_store(StoreRecord(
-                warp_uid=pending.warp.uid,
-                addr=msg.addr,
-                version=pending.version,
-                logical_ts=0,
-                epoch=0,
-                issue_cycle=pending.issue_cycle,
-                complete_cycle=self.engine.now,
-            ))
-            self._complete(pending.on_done)
-        elif isinstance(msg, MemAtmAck):
+            log = self.machine.log
+            if log.enabled:
+                log.stores.append(StoreRecord(
+                    warp_uid=pending.warp.uid,
+                    addr=msg.addr,
+                    version=pending.version,
+                    logical_ts=0,
+                    epoch=0,
+                    issue_cycle=pending.issue_cycle,
+                    complete_cycle=self.engine.now,
+                ))
+            engine = self.engine
+            engine.post(engine.now, pending.on_done)
+        elif cls is MemAtmAck:
             self._on_atomic_ack(msg)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unexpected message at BL L1: {msg!r}")
@@ -211,6 +240,8 @@ class DisabledL1Controller(_AtomicMixin, L1ControllerBase):
 class NonCoherentL1Controller(_AtomicMixin, L1ControllerBase):
     """Write-through L1 with no coherence actions whatsoever."""
 
+    __slots__ = ("cache", "_pending_stores", "_pending_atomics")
+
     def __init__(self, sm_id: int, machine: "Machine") -> None:
         super().__init__(sm_id, machine)
         config = machine.config
@@ -220,25 +251,29 @@ class NonCoherentL1Controller(_AtomicMixin, L1ControllerBase):
 
     def load(self, warp: "Warp", addr: int,
              on_done: Callable[[], None]) -> bool:
-        self.stats.add("l1_access")
+        counters = self._counters
+        counters["l1_access"] += 1
         line = self.cache.lookup(addr)
         if line is not None:
-            self.stats.add("l1_hit")
-            self.machine.log.record_load(LoadRecord(
-                warp_uid=warp.uid, addr=addr, version=line.version,
-                logical_ts=0, epoch=0, issue_cycle=self.engine.now,
-                complete_cycle=self.engine.now, l1_hit=True,
-            ))
-            self._complete(on_done, self.config.l1_latency)
+            counters["l1_hit"] += 1
+            log = self.machine.log
+            if log.enabled:
+                log.loads.append(LoadRecord(
+                    warp_uid=warp.uid, addr=addr, version=line.version,
+                    logical_ts=0, epoch=0, issue_cycle=self.engine.now,
+                    complete_cycle=self.engine.now, l1_hit=True,
+                ))
+            engine = self.engine
+            engine.post(engine.now + self._l1_latency, on_done)
             return True
-        self.stats.add("l1_miss")
+        counters["l1_miss"] += 1
         waiter = LoadWaiter(warp, on_done, self.engine.now)
         entry = self.mshr.get(addr)
         if entry is not None:
             entry.waiters.append(waiter)
             return True
         if self.mshr.full:
-            self.stats.add("l1_mshr_stall")
+            counters["l1_mshr_stall"] += 1
             return False
         entry = self.mshr.allocate(addr)
         entry.waiters.append(waiter)
@@ -248,8 +283,9 @@ class NonCoherentL1Controller(_AtomicMixin, L1ControllerBase):
 
     def store(self, warp: "Warp", addr: int,
               on_done: Callable[[], None]) -> bool:
-        self.stats.add("l1_access")
-        self.stats.add("l1_store")
+        counters = self._counters
+        counters["l1_access"] += 1
+        counters["l1_store"] += 1
         version = self.machine.versions.new_version(addr)
         line = self.cache.lookup(addr)
         if line is not None:
@@ -257,34 +293,44 @@ class NonCoherentL1Controller(_AtomicMixin, L1ControllerBase):
             line.version = version
         pending = PendingStore(warp, addr, version, on_done,
                                self.engine.now)
-        self._pending_stores.setdefault(addr, deque()).append(pending)
+        queue = self._pending_stores.get(addr)
+        if queue is None:
+            queue = self._pending_stores[addr] = deque()
+        queue.append(pending)
         self._send(MemWr(addr, self.sm_id, version))
         return True
 
     def receive(self, msg: Message) -> None:
-        if isinstance(msg, MemFill):
+        cls = type(msg)
+        if cls is MemFill:
             line, _evicted = self.cache.allocate(msg.addr)
             if line is not None:
                 line.version = msg.version
+            log = self.machine.log
+            engine = self.engine
             for waiter in self.mshr.drain(msg.addr):
-                self.machine.log.record_load(LoadRecord(
-                    warp_uid=waiter.warp.uid, addr=msg.addr,
-                    version=msg.version, logical_ts=0, epoch=0,
-                    issue_cycle=waiter.issue_cycle,
-                    complete_cycle=self.engine.now, l1_hit=False,
-                ))
-                self._complete(waiter.on_done)
-        elif isinstance(msg, MemAck):
+                if log.enabled:
+                    log.loads.append(LoadRecord(
+                        warp_uid=waiter.warp.uid, addr=msg.addr,
+                        version=msg.version, logical_ts=0, epoch=0,
+                        issue_cycle=waiter.issue_cycle,
+                        complete_cycle=engine.now, l1_hit=False,
+                    ))
+                engine.post(engine.now, waiter.on_done)
+        elif cls is MemAck:
             pending = pop_pending(self._pending_stores[msg.addr],
                                   msg.version)
-            self.machine.log.record_store(StoreRecord(
-                warp_uid=pending.warp.uid, addr=msg.addr,
-                version=pending.version, logical_ts=0, epoch=0,
-                issue_cycle=pending.issue_cycle,
-                complete_cycle=self.engine.now,
-            ))
-            self._complete(pending.on_done)
-        elif isinstance(msg, MemAtmAck):
+            log = self.machine.log
+            if log.enabled:
+                log.stores.append(StoreRecord(
+                    warp_uid=pending.warp.uid, addr=msg.addr,
+                    version=pending.version, logical_ts=0, epoch=0,
+                    issue_cycle=pending.issue_cycle,
+                    complete_cycle=self.engine.now,
+                ))
+            engine = self.engine
+            engine.post(engine.now, pending.on_done)
+        elif cls is MemAtmAck:
             self._on_atomic_ack(msg)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unexpected message at non-coherent L1: {msg!r}")
@@ -300,23 +346,26 @@ class NonCoherentL1Controller(_AtomicMixin, L1ControllerBase):
 class PlainL2Bank(L2BankBase):
     """Shared L2 with no coherence metadata (serves both baselines)."""
 
+    __slots__ = ()
+
     def _process(self, msg: Message) -> None:
         line = self.cache.lookup(msg.addr)
         if line is None:
             self._miss(msg)
             return
-        self.stats.add("l2_hit")
-        if isinstance(msg, MemRd):
+        self._counters["l2_hit"] += 1
+        cls = type(msg)
+        if cls is MemRd:
             self._reply(msg.sm, MemFill(msg.addr, msg.sm, line.version))
-        elif isinstance(msg, MemWr):
+        elif cls is MemWr:
             line.version = msg.version
             line.dirty = True
             self.machine.versions.record_wts(msg.addr, msg.version,
                                              self.engine.now)
             self._reply(msg.sm, MemAck(msg.addr, msg.sm,
                                        version=msg.version))
-        elif isinstance(msg, MemAtm):
-            self.stats.add("l2_atomics")
+        elif cls is MemAtm:
+            self._counters["l2_atomics"] += 1
             old_version = line.version
             line.version = msg.version
             line.dirty = True

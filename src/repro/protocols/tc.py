@@ -60,7 +60,8 @@ class TCWr(Message):
     __slots__ = ("version",)
 
     def __init__(self, addr: int, sm: int, version: int) -> None:
-        super().__init__(addr, sm)
+        self.addr = addr
+        self.sm = sm
         self.version = version
 
     def payload_bytes(self, config) -> int:
@@ -75,7 +76,8 @@ class TCFill(Message):
 
     def __init__(self, addr: int, sm: int, version: int,
                  expiry: int) -> None:
-        super().__init__(addr, sm)
+        self.addr = addr
+        self.sm = sm
         self.version = version
         self.expiry = expiry
 
@@ -95,7 +97,8 @@ class TCWrAck(Message):
 
     def __init__(self, addr: int, sm: int, gwct: int,
                  version: int = None) -> None:
-        super().__init__(addr, sm)
+        self.addr = addr
+        self.sm = sm
         self.gwct = gwct
         self.version = version
 
@@ -110,7 +113,8 @@ class TCAtm(Message):
     __slots__ = ("version",)
 
     def __init__(self, addr: int, sm: int, version: int) -> None:
-        super().__init__(addr, sm)
+        self.addr = addr
+        self.sm = sm
         self.version = version
 
     def payload_bytes(self, config) -> int:
@@ -125,7 +129,8 @@ class TCAtmAck(Message):
 
     def __init__(self, addr: int, sm: int, old_version: int,
                  gwct: int, version: int = None) -> None:
-        super().__init__(addr, sm)
+        self.addr = addr
+        self.sm = sm
         self.old_version = old_version
         self.gwct = gwct
         self.version = version
@@ -141,39 +146,49 @@ class TCAtmAck(Message):
 class TCL1Controller(L1ControllerBase):
     """Per-SM L1 under Temporal Coherence."""
 
+    __slots__ = ("cache", "_pending_stores", "_pending_atomics",
+                 "_handlers", "_combine")
+
     def __init__(self, sm_id: int, machine: "Machine") -> None:
         super().__init__(sm_id, machine)
         config = machine.config
         self.cache = CacheArray(config.l1_sets, config.l1_assoc)
         self._pending_stores: Dict[int, Deque[PendingStore]] = {}
         self._pending_atomics: Dict[int, Deque[PendingAtomic]] = {}
+        # response dispatch by concrete class (same idiom as G-TSC)
+        self._handlers = {
+            TCFill: self._on_fill,
+            TCWrAck: self._on_write_ack,
+            TCAtmAck: self._on_atomic_ack,
+        }
+        self._combine = config.combining is CombiningPolicy.MSHR
 
     def load(self, warp: "Warp", addr: int,
              on_done: Callable[[], None]) -> bool:
-        self.stats.add("l1_access")
+        counters = self._counters
+        counters["l1_access"] += 1
+        now = self.engine.now
         line = self.cache.lookup(addr)
-        if line is not None and self.engine.now < line.expiry:
-            self.stats.add("l1_hit")
-            self._record_load(warp, addr, line.version, self.engine.now,
-                              hit=True)
-            self._complete(on_done, self.config.l1_latency)
+        if line is not None and now < line.expiry:
+            counters["l1_hit"] += 1
+            self._record_load(warp, addr, line.version, now, hit=True)
+            self.engine.post(now + self._l1_latency, on_done)
             return True
 
-        self.stats.add("l1_miss")
+        counters["l1_miss"] += 1
         if line is not None:
             # tag matched but the lease ran out: the self-invalidation
             # ("coherence") miss that physical time forces on TC
-            self.stats.add("l1_expired_miss")
+            counters["l1_expired_miss"] += 1
 
-        waiter = LoadWaiter(warp, on_done, self.engine.now)
+        waiter = LoadWaiter(warp, on_done, now)
         entry = self.mshr.get(addr)
-        combine = self.config.combining is CombiningPolicy.MSHR
-        if entry is not None and combine:
+        if entry is not None and self._combine:
             entry.waiters.append(waiter)
             return True
         if entry is None:
             if self.mshr.full:
-                self.stats.add("l1_mshr_stall")
+                counters["l1_mshr_stall"] += 1
                 return False
             entry = self.mshr.allocate(addr)
         entry.waiters.append(waiter)
@@ -183,40 +198,44 @@ class TCL1Controller(L1ControllerBase):
 
     def store(self, warp: "Warp", addr: int,
               on_done: Callable[[], None]) -> bool:
-        self.stats.add("l1_access")
-        self.stats.add("l1_store")
+        counters = self._counters
+        counters["l1_access"] += 1
+        counters["l1_store"] += 1
         version = self.machine.versions.new_version(addr)
         # write-through, no-write-allocate: drop the (now stale) local
         # copy so this SM's later reads fetch the written value from L2
         self.cache.invalidate(addr)
         pending = PendingStore(warp, addr, version, on_done,
                                self.engine.now)
-        self._pending_stores.setdefault(addr, deque()).append(pending)
+        queue = self._pending_stores.get(addr)
+        if queue is None:
+            queue = self._pending_stores[addr] = deque()
+        queue.append(pending)
         self._send(TCWr(addr, self.sm_id, version))
         return True
 
     def atomic(self, warp: "Warp", addr: int,
                on_done: Callable[[], None]) -> bool:
-        self.stats.add("l1_access")
-        self.stats.add("l1_atomic")
+        counters = self._counters
+        counters["l1_access"] += 1
+        counters["l1_atomic"] += 1
         version = self.machine.versions.new_version(addr)
         # like stores: performed at L2, local copy dropped
         self.cache.invalidate(addr)
         pending = PendingAtomic(warp, addr, version, on_done,
                                 self.engine.now)
-        self._pending_atomics.setdefault(addr, deque()).append(pending)
+        queue = self._pending_atomics.get(addr)
+        if queue is None:
+            queue = self._pending_atomics[addr] = deque()
+        queue.append(pending)
         self._send(TCAtm(addr, self.sm_id, version))
         return True
 
     def receive(self, msg: Message) -> None:
-        if isinstance(msg, TCFill):
-            self._on_fill(msg)
-        elif isinstance(msg, TCWrAck):
-            self._on_write_ack(msg)
-        elif isinstance(msg, TCAtmAck):
-            self._on_atomic_ack(msg)
-        else:  # pragma: no cover - defensive
+        handler = self._handlers.get(type(msg))
+        if handler is None:  # pragma: no cover - defensive
             raise TypeError(f"unexpected message at TC L1: {msg!r}")
+        handler(msg)
 
     def _on_fill(self, msg: TCFill) -> None:
         if msg.expiry <= self.engine.now:
@@ -235,10 +254,12 @@ class TCL1Controller(L1ControllerBase):
             if line is not None:
                 line.version = msg.version
                 line.expiry = msg.expiry
+        engine = self.engine
+        now = engine.now
         for waiter in self.mshr.drain(msg.addr):
             self._record_load(waiter.warp, msg.addr, msg.version,
                               waiter.issue_cycle, hit=False)
-            self._complete(waiter.on_done)
+            engine.post(now, waiter.on_done)
 
     def _on_write_ack(self, msg: TCWrAck) -> None:
         queue = self._pending_stores.get(msg.addr)
@@ -248,19 +269,26 @@ class TCL1Controller(L1ControllerBase):
         if not queue:
             self._pending_stores.pop(msg.addr, None)
         # TC-Weak: remember when this write becomes globally visible
-        pending.warp.gwct = max(pending.warp.gwct, msg.gwct)
-        self.stats.hist.add("store_latency",
-                            self.engine.now - pending.issue_cycle)
-        self.machine.log.record_store(StoreRecord(
-            warp_uid=pending.warp.uid,
-            addr=msg.addr,
-            version=pending.version,
-            logical_ts=0,
-            epoch=0,
-            issue_cycle=pending.issue_cycle,
-            complete_cycle=self.engine.now,
-        ))
-        self._complete(pending.on_done)
+        warp = pending.warp
+        if msg.gwct > warp.gwct:
+            warp.gwct = msg.gwct
+        now = self.engine.now
+        hist = self._store_hist
+        if hist is None:
+            hist = self._store_hist = self.stats.hist.get("store_latency")
+        hist.add(now - pending.issue_cycle)
+        log = self.machine.log
+        if log.enabled:
+            log.stores.append(StoreRecord(
+                warp_uid=warp.uid,
+                addr=msg.addr,
+                version=pending.version,
+                logical_ts=0,
+                epoch=0,
+                issue_cycle=pending.issue_cycle,
+                complete_cycle=now,
+            ))
+        self.engine.post(now, pending.on_done)
 
     def _on_atomic_ack(self, msg: TCAtmAck) -> None:
         queue = self._pending_atomics.get(msg.addr)
@@ -269,38 +297,50 @@ class TCL1Controller(L1ControllerBase):
         pending = pop_pending(queue, msg.version)
         if not queue:
             self._pending_atomics.pop(msg.addr, None)
-        pending.warp.gwct = max(pending.warp.gwct, msg.gwct)
-        self.stats.hist.add("atomic_latency",
-                            self.engine.now - pending.issue_cycle)
-        self.machine.log.record_atomic(AtomicRecord(
-            warp_uid=pending.warp.uid,
-            addr=msg.addr,
-            old_version=msg.old_version,
-            new_version=pending.version,
-            logical_ts=0,
-            epoch=0,
-            issue_cycle=pending.issue_cycle,
-            complete_cycle=self.engine.now,
-        ))
-        self._complete(pending.on_done)
+        warp = pending.warp
+        if msg.gwct > warp.gwct:
+            warp.gwct = msg.gwct
+        now = self.engine.now
+        hist = self._atomic_hist
+        if hist is None:
+            hist = self._atomic_hist = self.stats.hist.get("atomic_latency")
+        hist.add(now - pending.issue_cycle)
+        log = self.machine.log
+        if log.enabled:
+            log.atomics.append(AtomicRecord(
+                warp_uid=warp.uid,
+                addr=msg.addr,
+                old_version=msg.old_version,
+                new_version=pending.version,
+                logical_ts=0,
+                epoch=0,
+                issue_cycle=pending.issue_cycle,
+                complete_cycle=now,
+            ))
+        self.engine.post(now, pending.on_done)
 
     def flush(self) -> None:
         self.cache.flush()
 
     def _record_load(self, warp: "Warp", addr: int, version: int,
                      issue_cycle: int, hit: bool) -> None:
-        self.stats.hist.add("load_latency",
-                            self.engine.now - issue_cycle)
-        self.machine.log.record_load(LoadRecord(
-            warp_uid=warp.uid,
-            addr=addr,
-            version=version,
-            logical_ts=0,
-            epoch=0,
-            issue_cycle=issue_cycle,
-            complete_cycle=self.engine.now,
-            l1_hit=hit,
-        ))
+        now = self.engine.now
+        hist = self._load_hist
+        if hist is None:
+            hist = self._load_hist = self.stats.hist.get("load_latency")
+        hist.add(now - issue_cycle)
+        log = self.machine.log
+        if log.enabled:
+            log.loads.append(LoadRecord(
+                warp_uid=warp.uid,
+                addr=addr,
+                version=version,
+                logical_ts=0,
+                epoch=0,
+                issue_cycle=issue_cycle,
+                complete_cycle=now,
+                l1_hit=hit,
+            ))
 
 
 # ---------------------------------------------------------------------------
@@ -316,11 +356,19 @@ class TCL2Bank(L2BankBase):
     immediately and the ack carries ``max(now, expiry)`` as the GWCT.
     """
 
+    __slots__ = ("strong", "_blocked", "_handlers", "_tc_lease")
+
     def __init__(self, bank_id: int, machine: "Machine") -> None:
         super().__init__(bank_id, machine)
         self.strong = machine.config.consistency is Consistency.SC
         # lines currently blocked behind a waiting write
         self._blocked: Dict[int, Deque[Message]] = {}
+        self._handlers = {
+            TCRd: self._read,
+            TCWr: self._write,
+            TCAtm: self._atomic,
+        }
+        self._tc_lease = machine.config.tc_lease
 
     # -- dispatch ------------------------------------------------------------
     def _process(self, msg: Message) -> None:
@@ -329,25 +377,22 @@ class TCL2Bank(L2BankBase):
             # a write is waiting on this line: everything queues behind
             # it (Section II-D3's lease-induced contention)
             blocked.append(msg)
-            self.stats.add("l2_blocked_requests")
+            self._counters["l2_blocked_requests"] += 1
             return
-        if isinstance(msg, TCRd):
-            self._read(msg)
-        elif isinstance(msg, TCWr):
-            self._write(msg)
-        elif isinstance(msg, TCAtm):
-            self._atomic(msg)
-        else:  # pragma: no cover - defensive
+        handler = self._handlers.get(type(msg))
+        if handler is None:  # pragma: no cover - defensive
             raise TypeError(f"unexpected message at TC L2: {msg!r}")
+        handler(msg)
 
     def _read(self, msg: TCRd) -> None:
         line = self.cache.lookup(msg.addr)
         if line is None:
             self._miss(msg)
             return
-        self.stats.add("l2_hit")
-        grant = self.engine.now + self.config.tc_lease
-        line.expiry = max(line.expiry, grant)
+        self._counters["l2_hit"] += 1
+        grant = self.engine.now + self._tc_lease
+        if grant > line.expiry:
+            line.expiry = grant
         self._reply(msg.sm, TCFill(msg.addr, msg.sm, line.version, grant))
 
     def _write(self, msg: TCWr) -> None:
@@ -355,17 +400,18 @@ class TCL2Bank(L2BankBase):
         if line is None:
             self._miss(msg)
             return
-        self.stats.add("l2_hit")
+        self._counters["l2_hit"] += 1
         now = self.engine.now
         if self.strong and now < line.expiry:
             # TC-Strong: wait for every outstanding lease to expire
-            self.stats.add("l2_write_stalls")
-            self.stats.add("l2_write_stall_cycles", line.expiry - now)
+            self._counters["l2_write_stalls"] += 1
+            self._counters["l2_write_stall_cycles"] += line.expiry - now
             if self.trace is not None:
                 self.trace.complete(now, line.expiry, self.track,
                                     "write_stall", {"addr": msg.addr})
             self._blocked[msg.addr] = deque()
-            self.engine.at(line.expiry, self._perform_blocked_write, msg)
+            self.engine.post(line.expiry, self._perform_blocked_write,
+                             (msg,))
             return
         self._perform_write(msg, line)
 
@@ -381,7 +427,8 @@ class TCL2Bank(L2BankBase):
 
     def _perform_write(self, msg: TCWr, line: CacheLine) -> None:
         now = self.engine.now
-        gwct = max(now, line.expiry)
+        expiry = line.expiry
+        gwct = expiry if expiry > now else now
         line.version = msg.version
         line.dirty = True
         self.machine.versions.record_wts(msg.addr, msg.version, now)
@@ -400,17 +447,18 @@ class TCL2Bank(L2BankBase):
         if line is None:
             self._miss(msg)
             return
-        self.stats.add("l2_hit")
-        self.stats.add("l2_atomics")
+        self._counters["l2_hit"] += 1
+        self._counters["l2_atomics"] += 1
         now = self.engine.now
         if self.strong and now < line.expiry:
-            self.stats.add("l2_write_stalls")
-            self.stats.add("l2_write_stall_cycles", line.expiry - now)
+            self._counters["l2_write_stalls"] += 1
+            self._counters["l2_write_stall_cycles"] += line.expiry - now
             if self.trace is not None:
                 self.trace.complete(now, line.expiry, self.track,
                                     "atomic_stall", {"addr": msg.addr})
             self._blocked[msg.addr] = deque()
-            self.engine.at(line.expiry, self._perform_blocked_atomic, msg)
+            self.engine.post(line.expiry, self._perform_blocked_atomic,
+                             (msg,))
             return
         self._perform_atomic(msg, line)
 
@@ -425,7 +473,8 @@ class TCL2Bank(L2BankBase):
 
     def _perform_atomic(self, msg: TCAtm, line: CacheLine) -> None:
         now = self.engine.now
-        gwct = max(now, line.expiry)
+        expiry = line.expiry
+        gwct = expiry if expiry > now else now
         old_version = line.version
         line.version = msg.version
         line.dirty = True

@@ -72,7 +72,28 @@ class Engine:
     def at(self, time: int, callback: Callable[..., None],
            *args: Any) -> EventHandle:
         """Schedule ``callback`` at an absolute cycle (>= now)."""
-        return self.schedule(time - self.now, callback, *args)
+        if time < self.now:
+            raise ValueError(f"negative delay: {time - self.now}")
+        seq = self._seq
+        self._seq = seq + 1
+        event = [time, seq, callback, args]
+        heappush(self._heap, event)
+        return event
+
+    def post(self, time: int, callback: Callable[..., None],
+             args: tuple = ()) -> EventHandle:
+        """Fast-path :meth:`at` for hot internal callers.
+
+        Takes the argument tuple directly (no varargs repacking) and
+        trusts the caller that ``time >= now`` — the NoC, DRAM and L2
+        pipelines compute arrival times from ``now`` plus non-negative
+        latencies, so the guard in :meth:`at` would never fire there.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        event = [time, seq, callback, args]
+        heappush(self._heap, event)
+        return event
 
     def cancel(self, event: EventHandle) -> None:
         """Prevent a scheduled event from firing.
@@ -144,17 +165,23 @@ class Engine:
                     hook(event[0], callback)
                     callback(*event[3])
                 return self.now
-            # hot path: no bound checks inside the loop
+            # hot path: no bound checks inside the loop.  events_fired
+            # accumulates in a local and flushes once per drain — only
+            # the observability hook path reads it mid-run, and that
+            # path is the branch above.
+            pop = heappop
+            fired = 0
             while heap:
-                event = heappop(heap)
+                event = pop(heap)
                 callback = event[2]
                 if callback is None:
                     self._stale -= 1
                     continue
                 event[2] = None
                 self.now = event[0]
-                self.events_fired += 1
+                fired += 1
                 callback(*event[3])
+            self.events_fired += fired
             return self.now
         fired = 0
         while heap:

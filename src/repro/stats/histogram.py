@@ -37,8 +37,12 @@ class Histogram:
 
     def add(self, value: int, count: int = 1) -> None:
         """Record ``count`` samples of ``value``."""
-        index = self.bucket_of(value)
-        self._buckets[index] = self._buckets.get(index, 0) + count
+        # bucket_of inlined: this runs once per completed memory access
+        if value < 0:
+            raise ValueError("histogram values must be non-negative")
+        index = value.bit_length()
+        buckets = self._buckets
+        buckets[index] = buckets.get(index, 0) + count
         self.count += count
         self.total += value * count
         if value > self.max_value:
@@ -138,7 +142,10 @@ class HistogramSet:
         return histogram
 
     def add(self, name: str, value: int) -> None:
-        self.get(name).add(value)
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        histogram.add(value)
 
     def names(self) -> List[str]:
         return sorted(self._histograms)

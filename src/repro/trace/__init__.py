@@ -7,6 +7,12 @@ or store instruction carries the 1-4 distinct line addresses a real
 warp's 32 threads typically coalesce into (Section II-A).
 """
 
+from repro.trace.compiled import (
+    CompiledKernel,
+    CompiledTrace,
+    compile_kernel,
+    compile_trace,
+)
 from repro.trace.instr import (
     ATOMIC,
     COMPUTE,
@@ -24,6 +30,7 @@ from repro.trace.instr import (
 
 __all__ = [
     "ATOMIC", "COMPUTE", "FENCE", "LOAD", "STORE",
-    "Instr", "Kernel",
-    "atomic", "compute", "fence", "load", "store",
+    "CompiledKernel", "CompiledTrace", "Instr", "Kernel",
+    "atomic", "compile_kernel", "compile_trace", "compute", "fence",
+    "load", "store",
 ]

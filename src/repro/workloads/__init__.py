@@ -13,16 +13,32 @@ Use :func:`build_workload` to construct a kernel::
 
 ``scale`` shrinks or grows every dimension of the workload (warps,
 iterations, footprints); ``seed`` makes the trace deterministic.
+
+Passing ``cache_dir`` returns the kernel in *compiled* form
+(:class:`repro.trace.compiled.CompiledKernel`) backed by an on-disk
+trace cache: generating a large workload means running its Python
+generator and compiling every warp's trace, which for paper-scale
+inputs dwarfs a JSON read.  Entries are keyed by
+``(name, scale, seed, GENERATOR_VERSION)`` — bump
+:data:`GENERATOR_VERSION` whenever any generator's output changes.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Union
 
+from repro.trace.compiled import CompiledKernel, compile_kernel
 from repro.trace.instr import Kernel
 from repro.workloads import coherent, independent
+
+#: Version stamp of the generator suite.  Participates in every trace
+#: cache key, so bumping it invalidates all cached compiled traces —
+#: required whenever a generator's emitted instruction stream changes.
+GENERATOR_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -70,9 +86,56 @@ INDEPENDENT_NAMES: List[str] = [s.name for s in _SPECS
 ALL_NAMES: List[str] = [s.name for s in _SPECS]
 
 
-def build_workload(name: str, scale: float = 1.0,
-                   seed: int = 2018) -> Kernel:
-    """Build benchmark ``name`` at the given scale, deterministically."""
+def trace_key(name: str, scale: float, seed: int) -> str:
+    """The sha256 cache key of one generated workload trace."""
+    payload = {
+        "generator_version": GENERATOR_VERSION,
+        "name": name,
+        "scale": scale,
+        "seed": seed,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# per-directory trace caches, shared so hit/miss counters accumulate
+# across build_workload calls (and so tests can inspect them)
+_trace_caches: Dict[str, object] = {}
+
+
+def _trace_cache(cache_dir: str):
+    cache = _trace_caches.get(cache_dir)
+    if cache is None:
+        # imported lazily: repro.harness pulls in the runner (and thus
+        # this module) at package import, so a top-level import of the
+        # harness cache here would be circular
+        from repro.harness.cache import JsonFileCache
+
+        class TraceCache(JsonFileCache):
+            what = "trace-cache"
+
+            def _decode(self, data):
+                return CompiledKernel.from_dict(data)
+
+            def _encode(self, kernel):
+                return kernel.to_dict()
+
+        cache = _trace_caches[cache_dir] = TraceCache(cache_dir)
+    return cache
+
+
+def build_workload(name: str, scale: float = 1.0, seed: int = 2018,
+                   cache_dir: Optional[str] = None,
+                   ) -> Union[Kernel, "CompiledKernel"]:
+    """Build benchmark ``name`` at the given scale, deterministically.
+
+    Without ``cache_dir`` this returns the authoring-level
+    :class:`Kernel`, exactly as before.  With ``cache_dir`` it returns
+    the :class:`CompiledKernel` the simulator executes, reading it from
+    the on-disk trace cache when the same ``(name, scale, seed,
+    GENERATOR_VERSION)`` has been built before and writing it there
+    otherwise.
+    """
     try:
         spec = WORKLOADS[name]
     except KeyError:
@@ -80,6 +143,15 @@ def build_workload(name: str, scale: float = 1.0,
         raise KeyError(f"unknown workload {name!r}; known: {known}") from None
     if scale <= 0:
         raise ValueError("scale must be positive")
+    if cache_dir is not None:
+        cache = _trace_cache(cache_dir)
+        key = trace_key(name, scale, seed)
+        compiled = cache.get(key)
+        if compiled is None:
+            kernel = spec.builder(random.Random(seed), scale)
+            compiled = compile_kernel(kernel)  # validates
+            cache.put(key, compiled)
+        return compiled
     kernel = spec.builder(random.Random(seed), scale)
     kernel.validate()
     return kernel

@@ -161,3 +161,12 @@ def test_sweep_rejects_unknown_metric(capsys):
                               "--workload", "HS", "--preset", "tiny",
                               "--scale", "0.1", "--metric", "vibes")
     assert code == 2
+
+
+def test_profile_cprofile_prints_hotspots(capsys):
+    code, out, _ = run_cli(capsys, "profile", "BFS", "--preset", "tiny",
+                           "--scale", "0.3", "--cprofile", "--no-cache")
+    assert code == 0
+    assert "cProfile: BFS gtsc-rc" in out
+    assert "cumulative" in out            # pstats sort header
+    assert "repro/sim/engine.py" in out   # the run loop shows up

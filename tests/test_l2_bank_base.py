@@ -32,16 +32,21 @@ def test_bank_pipeline_serializes_by_service_time():
     machine.l1s[0] = cap
     arrivals = []
 
-    original = bank._process
+    # bank controllers use __slots__, so trace _process on the class
+    cls = type(bank)
+    original = cls._process
 
-    def traced(msg):
+    def traced(self, msg):
         arrivals.append(machine.engine.now)
-        original(msg)
+        original(self, msg)
 
-    bank._process = traced
-    for _ in range(3):
-        bank.receive(MemRd(0, 0))
-    machine.engine.run()
+    cls._process = traced
+    try:
+        for _ in range(3):
+            bank.receive(MemRd(0, 0))
+        machine.engine.run()
+    finally:
+        cls._process = original
     # processing instants are spaced by the service occupancy
     assert arrivals[1] - arrivals[0] == 4
     assert arrivals[2] - arrivals[1] == 4
@@ -51,12 +56,16 @@ def test_bank_access_latency_applied():
     machine = make_machine(l2_latency=17)
     bank = machine.l2_banks[0]
     processed = []
-    original = bank._process
-    bank._process = lambda msg: (processed.append(machine.engine.now),
-                                 original(msg))
-    machine.l1s[0] = Capture()
-    bank.receive(MemRd(0, 0))
-    machine.engine.run()
+    cls = type(bank)
+    original = cls._process
+    cls._process = lambda self, msg: (processed.append(machine.engine.now),
+                                      original(self, msg))
+    try:
+        machine.l1s[0] = Capture()
+        bank.receive(MemRd(0, 0))
+        machine.engine.run()
+    finally:
+        cls._process = original
     assert processed[0] >= 17
 
 

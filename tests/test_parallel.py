@@ -140,3 +140,24 @@ def test_progress_off_is_silent(capsys):
     runner = make_sequential(progress=False)
     runner.prefetch(ExperimentRunner.matrix_points(["BFS"]))
     assert capsys.readouterr().err == ""
+
+
+def test_default_jobs_is_cpu_count_without_warning(recwarn):
+    import os
+
+    runner = ParallelRunner(preset="tiny", scale=0.3, seed=7)
+    assert runner.jobs == (os.cpu_count() or 1)
+    # defaulting to the machine must not trip the clamp warning
+    assert not [w for w in recwarn.list
+                if issubclass(w.category, RuntimeWarning)]
+
+
+def test_workers_share_the_trace_cache_dir(tmp_path):
+    cache_dir = str(tmp_path / "runcache")
+    runner = make_parallel(jobs=1, cache_dir=cache_dir)
+    runner.run("BFS", Protocol.GTSC, Consistency.RC)
+    import os
+
+    traces = os.path.join(cache_dir, "traces")
+    assert runner.trace_cache_dir == traces
+    assert os.listdir(traces)             # compiled trace persisted

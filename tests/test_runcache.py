@@ -168,7 +168,8 @@ def test_corrupt_entry_causes_resimulation(tmp_path):
     first = ExperimentRunner(preset="tiny", scale=0.3, seed=7,
                              cache_dir=cache_dir)
     cold = first.run("BFS", Protocol.GTSC, Consistency.RC)
-    entries = os.listdir(cache_dir)
+    # the dir also holds the traces/ subcache; corrupt the run entry
+    entries = [e for e in os.listdir(cache_dir) if e.endswith(".json")]
     assert len(entries) == 1
     with open(os.path.join(cache_dir, entries[0]), "w") as handle:
         handle.write("garbage")

@@ -134,3 +134,32 @@ def test_instructions_counted_once_despite_retries():
     stats = run(config, kernel)
     # 2 instructions: the load and the fence (retries don't recount)
     assert stats.counter("instructions") == 2
+
+
+def test_schedule_issue_treats_dead_handle_as_absent():
+    """A cancelled or already-fired issue-event handle (callback slot
+    nulled) must never suppress scheduling a needed issue event, no
+    matter what stale fire time it still carries."""
+    gpu = GPU(GPUConfig.tiny())
+    sm = gpu.sms[0]
+    engine = gpu.machine.engine
+
+    dead = engine.schedule(1000, lambda: None)
+    engine.cancel(dead)                   # callback slot is now None
+    sm._issue_event = dead
+    sm._schedule_issue(5)
+    assert sm._issue_event is not dead    # fresh event was scheduled
+    assert sm._issue_event[2] is not None
+    assert sm._issue_event[0] == engine.now + 5
+
+
+def test_schedule_issue_keeps_a_live_earlier_event():
+    gpu = GPU(GPUConfig.tiny())
+    sm = gpu.sms[0]
+    sm._schedule_issue(2)
+    live = sm._issue_event
+    sm._schedule_issue(10)                # later: the live one wins
+    assert sm._issue_event is live
+    sm._schedule_issue(1)                 # earlier: reschedules
+    assert sm._issue_event is not live
+    assert live[2] is None                # old handle was cancelled

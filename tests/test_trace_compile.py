@@ -1,0 +1,200 @@
+"""Compiled traces: format round-trips, simulated equivalence, cache.
+
+The compiled representation is pure packaging — every workload
+generator must produce a compiled kernel whose simulated
+``RunStats.to_dict()`` is byte-identical to running the
+authoring-level :class:`Kernel`, under every protocol.  The on-disk
+trace cache must hand back the same kernel without re-running the
+generator.
+"""
+
+import json
+import os
+
+import pytest
+
+import repro.workloads as workloads
+from repro.config import Consistency, GPUConfig, Protocol
+from repro.gpu.gpu import GPU
+from repro.trace.compiled import (
+    OP_ATOMIC,
+    OP_BARRIER,
+    OP_COMPUTE,
+    OP_FENCE,
+    OP_LOAD,
+    OP_STORE,
+    CompiledKernel,
+    compile_kernel,
+    compile_trace,
+)
+from repro.trace.instr import Instr, Kernel
+from repro.workloads import ALL_NAMES, build_workload, trace_key
+
+SCALE = 0.3
+SEED = 7
+PROTOCOLS = (Protocol.GTSC, Protocol.TC, Protocol.MESI,
+             Protocol.DISABLED)
+
+
+def _run(kernel, protocol):
+    config = GPUConfig.tiny(protocol=protocol, consistency=Consistency.RC)
+    stats = GPU(config, record_accesses=False).run(kernel)
+    return json.dumps(stats.to_dict(), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# packed format
+# ---------------------------------------------------------------------------
+
+def test_opcode_range_check_invariant():
+    """The memory opcodes must stay contiguous — the SM dispatches on
+    ``OP_LOAD <= op <= OP_ATOMIC``."""
+    assert OP_LOAD + 1 == OP_STORE
+    assert OP_STORE + 1 == OP_ATOMIC
+    assert OP_COMPUTE < OP_LOAD
+    assert OP_ATOMIC < OP_FENCE < OP_BARRIER
+
+
+def test_compile_trace_packs_every_instruction_kind():
+    trace = compile_trace([
+        Instr("compute", cycles=3),
+        Instr("load", addrs=(64, 128)),
+        Instr("store", addrs=(64,)),
+        Instr("atomic", addrs=(192,)),
+        Instr("fence"),
+        Instr("barrier"),
+    ])
+    assert trace.ops == [OP_COMPUTE, OP_LOAD, OP_STORE, OP_ATOMIC,
+                         OP_FENCE, OP_BARRIER]
+    assert trace.args == [3, (64, 128), (64,), (192,), None, None]
+    assert len(trace) == 6
+
+
+def test_compiled_trace_decompiles_to_the_same_instructions():
+    instrs = [Instr("load", addrs=(64,)), Instr("compute", cycles=2),
+              Instr("fence")]
+    assert compile_trace(instrs).instructions() == instrs
+
+
+def test_compiled_kernel_mirrors_kernel_surface():
+    kernel = Kernel(name="k", warp_traces=[
+        [Instr("load", addrs=(64,)), Instr("store", addrs=(128,))],
+        [Instr("compute", cycles=1)],
+    ])
+    compiled = compile_kernel(kernel)
+    assert compiled.name == kernel.name
+    assert compiled.cta_size == kernel.cta_size
+    assert compiled.num_warps == kernel.num_warps
+    assert compiled.total_instructions == kernel.total_instructions
+    assert compiled.num_ctas == kernel.num_ctas
+    assert compiled.memory_footprint() == kernel.memory_footprint()
+
+
+def test_compiled_kernel_dict_round_trip():
+    kernel = Kernel(name="rt", cta_size=2, warp_traces=[
+        [Instr("load", addrs=(64, 128)), Instr("barrier"),
+         Instr("atomic", addrs=(256,))],
+        [Instr("compute", cycles=5), Instr("barrier"), Instr("fence")],
+    ])
+    compiled = compile_kernel(kernel)
+    rebuilt = CompiledKernel.from_dict(
+        json.loads(json.dumps(compiled.to_dict())))
+    assert rebuilt.to_dict() == compiled.to_dict()
+    assert rebuilt.decompile() == kernel
+
+
+def test_from_dict_rejects_unknown_format_and_opcodes():
+    with pytest.raises(ValueError, match="format"):
+        CompiledKernel.from_dict({"format": 99, "name": "x",
+                                  "cta_size": 1, "warps": [[["load", [0]]]]})
+    with pytest.raises(ValueError, match="opcode"):
+        CompiledKernel.from_dict({"format": 1, "name": "x",
+                                  "cta_size": 1, "warps": [[["jump"]]]})
+
+
+def test_compiled_validate_matches_kernel_validate():
+    with pytest.raises(ValueError, match="barriers"):
+        CompiledKernel("b", [
+            compile_trace([Instr("barrier")]),
+            compile_trace([Instr("barrier")]),
+        ], cta_size=1).validate()
+    with pytest.raises(ValueError, match="no warps"):
+        CompiledKernel("e", []).validate()
+
+
+# ---------------------------------------------------------------------------
+# simulated equivalence: every generator, every protocol
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("protocol", PROTOCOLS,
+                         ids=[p.value for p in PROTOCOLS])
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_compiled_path_is_byte_identical(name, protocol, tmp_path):
+    plain = build_workload(name, scale=SCALE, seed=SEED)
+    compiled = build_workload(name, scale=SCALE, seed=SEED,
+                              cache_dir=str(tmp_path))
+    assert isinstance(plain, Kernel)
+    assert isinstance(compiled, CompiledKernel)
+    assert _run(compiled, protocol) == _run(plain, protocol)
+
+
+# ---------------------------------------------------------------------------
+# the on-disk trace cache
+# ---------------------------------------------------------------------------
+
+def test_second_build_reads_from_disk(tmp_path):
+    cache_dir = str(tmp_path / "traces")
+    first = build_workload("BFS", scale=SCALE, seed=SEED,
+                           cache_dir=cache_dir)
+    cache = workloads._trace_caches[cache_dir]
+    assert cache.misses == 1 and cache.hits == 0
+    entry = os.path.join(cache_dir,
+                         trace_key("BFS", SCALE, SEED) + ".json")
+    assert os.path.exists(entry)
+
+    second = build_workload("BFS", scale=SCALE, seed=SEED,
+                            cache_dir=cache_dir)
+    assert cache.hits == 1
+    assert second is not first            # decoded from the file
+    assert second.to_dict() == first.to_dict()
+
+
+def test_cached_kernel_survives_a_fresh_cache_object(tmp_path):
+    """A second process sees the entry too (fresh TraceCache)."""
+    cache_dir = str(tmp_path / "traces")
+    first = build_workload("STN", scale=SCALE, seed=SEED,
+                           cache_dir=cache_dir)
+    workloads._trace_caches.pop(cache_dir)
+    second = build_workload("STN", scale=SCALE, seed=SEED,
+                            cache_dir=cache_dir)
+    assert workloads._trace_caches[cache_dir].hits == 1
+    assert second.to_dict() == first.to_dict()
+
+
+def test_trace_key_varies_on_every_parameter():
+    base = trace_key("BFS", 0.5, 2018)
+    assert trace_key("STN", 0.5, 2018) != base
+    assert trace_key("BFS", 0.4, 2018) != base
+    assert trace_key("BFS", 0.5, 2019) != base
+
+
+def test_trace_key_covers_generator_version(monkeypatch):
+    base = trace_key("BFS", 0.5, 2018)
+    monkeypatch.setattr(workloads, "GENERATOR_VERSION",
+                        workloads.GENERATOR_VERSION + 1)
+    assert trace_key("BFS", 0.5, 2018) != base
+
+
+def test_corrupt_trace_entry_regenerates(tmp_path):
+    cache_dir = str(tmp_path / "traces")
+    first = build_workload("KM", scale=SCALE, seed=SEED,
+                           cache_dir=cache_dir)
+    entry = os.path.join(cache_dir,
+                         trace_key("KM", SCALE, SEED) + ".json")
+    with open(entry, "w") as handle:
+        handle.write("garbage")
+    workloads._trace_caches.pop(cache_dir)
+    with pytest.warns(RuntimeWarning, match="trace-cache"):
+        again = build_workload("KM", scale=SCALE, seed=SEED,
+                               cache_dir=cache_dir)
+    assert again.to_dict() == first.to_dict()
