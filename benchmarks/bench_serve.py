@@ -1,0 +1,145 @@
+"""Submit-to-result latency of the experiment service (not a figure).
+
+Benchmarks the three ways a ``submit`` resolves, over the real TCP
+protocol against an in-process server:
+
+* **cold** — a never-seen point: queue + lease + one tiny simulation;
+* **cached** — the same point again: answered from the run cache
+  without touching the queue (this is the path a popular point takes
+  under heavy traffic, so it must stay far below cold);
+* **coalesced** — eight concurrent identical submissions of a fresh
+  point: one simulation, eight answers (measures the full fan-in).
+
+Cold/coalesced rounds use a fresh seed each time so every round pays
+the simulation; the tiny preset keeps that cost in tenths of a
+second.  The numbers feed the CI regression gate alongside the
+simulator-speed benchmarks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.harness.cache import RunCache
+from repro.serve import (JobStore, Scheduler, ServeClient,
+                         ServeServer, make_spec)
+
+BENCH_WORKLOAD = "HS"
+BENCH_SCALE = 0.1
+
+
+class LiveServer:
+    """A real server on an ephemeral port, its loop on a thread."""
+
+    def __init__(self, root) -> None:
+        store = JobStore(str(root / "jobs.jsonl"))
+        self.scheduler = Scheduler(
+            store, cache=RunCache(str(root / "cache")), jobs=1,
+            poll_interval=0.005)
+        self.server = ServeServer(self.scheduler, port=0, quiet=True)
+        self.loop = asyncio.new_event_loop()
+        self.ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        if not self.ready.wait(10):
+            raise RuntimeError("server failed to start")
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.server.start())
+        self.loop.call_soon(self.ready.set)
+        self.loop.run_forever()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self) -> None:
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.drain(), self.loop)
+        future.result(timeout=30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def live_server(tmp_path_factory):
+    server = LiveServer(tmp_path_factory.mktemp("serve-bench"))
+    yield server
+    server.stop()
+
+
+def fresh_seeds(start):
+    counter = [start]
+
+    def next_seed():
+        counter[0] += 1
+        return counter[0]
+
+    return next_seed
+
+
+def test_submit_latency_cold(benchmark, live_server):
+    """Queue + lease + simulate + answer, nothing pre-warmed."""
+    client = ServeClient(port=live_server.port)
+    next_seed = fresh_seeds(10_000)
+
+    def once():
+        return client.submit(make_spec(
+            BENCH_WORKLOAD, preset="tiny", scale=BENCH_SCALE,
+            seed=next_seed()))
+
+    reply = benchmark.pedantic(once, rounds=3, iterations=1)
+    assert reply["ok"] and not reply["cached"]
+    assert reply["stats"]["cycles"] > 0
+
+
+def test_submit_latency_cached(benchmark, live_server):
+    """The hot path: answered from the run cache, no queue."""
+    client = ServeClient(port=live_server.port)
+    spec = make_spec(BENCH_WORKLOAD, preset="tiny",
+                     scale=BENCH_SCALE, seed=2018)
+    warm = client.submit(spec)
+    assert warm["ok"]
+
+    def once():
+        return client.submit(spec)
+
+    reply = benchmark.pedantic(once, rounds=5, iterations=3)
+    assert reply["cached"]
+
+
+def test_submit_latency_coalesced(benchmark, live_server):
+    """Eight racing clients, one simulation, eight identical answers."""
+    next_seed = fresh_seeds(30_000)
+    executed_before = live_server.scheduler.pool.executed
+    bursts = []
+
+    def burst():
+        spec = make_spec(BENCH_WORKLOAD, preset="tiny",
+                         scale=BENCH_SCALE, seed=next_seed())
+        bursts.append(spec["seed"])
+        replies = [None] * 8
+
+        def one(index):
+            replies[index] = ServeClient(
+                port=live_server.port).submit(spec)
+
+        threads = [threading.Thread(target=one, args=(index,))
+                   for index in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return replies
+
+    replies = benchmark.pedantic(burst, rounds=3, iterations=1)
+    assert all(reply["ok"] for reply in replies)
+    assert len({str(sorted(reply["stats"].items()))
+                for reply in replies}) == 1
+    # one simulation per burst, never eight
+    executed = live_server.scheduler.pool.executed - executed_before
+    assert executed == len(bursts)

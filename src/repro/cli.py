@@ -9,6 +9,9 @@ Subcommands::
     gtsc-repro run fig12 [fig15 ...]      # regenerate figures
     gtsc-repro run --all
     gtsc-repro report --output EXPERIMENTS.md
+    gtsc-repro serve --port 8642          # long-lived experiment service
+    gtsc-repro submit BFS --port 8642     # run one point via the service
+    gtsc-repro jobs --port 8642           # inspect the service queue
 
 (Installed as ``gtsc-repro``; also runnable as ``python -m repro.cli``.)
 """
@@ -83,20 +86,48 @@ def cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _spec_of(args: argparse.Namespace) -> dict:
+    """The canonical request spec the CLI args describe."""
+    from repro.serve import schema as serve_schema
+
+    overrides = {"lease": args.lease}
+    for token in getattr(args, "set", None) or []:
+        name, _, raw = token.partition("=")
+        if not _:
+            raise SystemExit(f"--set expects NAME=VALUE, got {token!r}")
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        overrides[name] = value
+    try:
+        return serve_schema.make_spec(
+            args.workload, protocol=args.protocol,
+            consistency=args.consistency, preset=args.preset,
+            scale=args.scale, seed=args.seed, overrides=overrides)
+    except serve_schema.SpecError as error:
+        raise SystemExit(str(error))
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
-    config_factory = getattr(GPUConfig, args.preset)
-    config = config_factory(
-        protocol=Protocol(args.protocol),
-        consistency=Consistency(args.consistency),
-        lease=args.lease,
-    )
+    from repro.serve import schema as serve_schema
+
+    spec = _spec_of(args)
+    config = serve_schema.spec_config(spec)
     kernel = build_workload(args.workload, scale=args.scale,
                             seed=args.seed)
     gpu = GPU(config, record_accesses=args.check)
     stats = gpu.run(kernel)
     if args.json:
+        # the same versioned envelope the serve protocol answers with,
+        # so one consumer handles local and service results alike
         import json
-        print(json.dumps(stats.to_dict(), indent=2, sort_keys=True))
+        envelope = serve_schema.result_envelope(
+            spec, stats, key=serve_schema.spec_key(spec))
+        print(json.dumps(envelope, indent=2, sort_keys=True))
         return 0
     print(f"machine: {config.describe()}")
     print(f"kernel:  {kernel.name}, {kernel.num_warps} warps, "
@@ -301,6 +332,124 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+DEFAULT_SERVE_PORT = 8642
+DEFAULT_STATE_DIR = "results/.serve"
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from repro.harness.cache import RunCache
+    from repro.serve import JobStore, Scheduler, ServeServer
+
+    state_dir = args.state_dir
+    os.makedirs(state_dir, exist_ok=True)
+    store = JobStore(os.path.join(state_dir, "jobs.jsonl"))
+    cache = None if args.no_cache else RunCache(args.cache_dir)
+    max_bytes = (args.cache_max_mb * 1024 * 1024
+                 if args.cache_max_mb else None)
+    scheduler = Scheduler(
+        store, cache=cache, jobs=args.jobs,
+        queue_limit=args.queue_limit,
+        retry_after=args.retry_after,
+        cache_max_bytes=max_bytes,
+        timeout=args.job_timeout,
+        max_attempts=args.max_attempts,
+        lease_duration=args.lease_duration,
+    )
+    server = ServeServer(scheduler, host=args.host, port=args.port,
+                         drain_timeout=args.drain_timeout)
+    try:
+        asyncio.run(server.serve_forever())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _client_of(args: argparse.Namespace):
+    from repro.serve import ServeClient
+    return ServeClient(host=args.host, port=args.port,
+                       timeout=args.timeout, retries=args.retries)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ServeError, ServeUnavailable
+    from repro.stats.collector import RunStats
+
+    spec = _spec_of(args)
+    client = _client_of(args)
+    try:
+        reply = client.submit(spec, wait=not args.no_wait)
+    except (ServeError, ServeUnavailable) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(reply, indent=2, sort_keys=True))
+        return 0
+    if reply.get("kind") == "accepted":
+        print(f"accepted: job {reply['job_id']} "
+              f"(cached={reply['cached']}, "
+              f"coalesced={reply['coalesced']})")
+        return 0
+    stats = RunStats.from_dict(reply["stats"])
+    how = ("cache" if reply["cached"]
+           else "coalesced" if reply["coalesced"] else "simulated")
+    print(f"result via {how} (job {reply.get('job_id', '-')}, "
+          f"key {reply['key'][:12]}…)")
+    print(stats.summary())
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ServeError, ServeUnavailable
+
+    client = _client_of(args)
+    try:
+        reply = client.jobs()
+    except (ServeError, ServeUnavailable) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(reply, indent=2, sort_keys=True))
+        return 0
+    counts = reply["counts"]
+    print("  ".join(f"{state}={counts[state]}"
+                    for state in ("pending", "leased", "done",
+                                  "failed")))
+    for job in reply["jobs"]:
+        spec = job["spec"]
+        label = (f"{spec['workload']} {spec['protocol']}-"
+                 f"{spec['consistency']} scale={spec['scale']}")
+        extra = f" attempts={job['attempts']}" if job["attempts"] else ""
+        error = f" error={job['error']}" if job["error"] else ""
+        print(f"{job['id']}  {job['state']:8s} {label}{extra}{error}")
+    return 0
+
+
+def _add_endpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="server address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int,
+                        default=DEFAULT_SERVE_PORT,
+                        help=f"server port "
+                             f"(default: {DEFAULT_SERVE_PORT})")
+
+
+def _add_client_args(parser: argparse.ArgumentParser) -> None:
+    _add_endpoint_args(parser)
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="per-request socket timeout in seconds "
+                             "(default: 120)")
+    parser.add_argument("--retries", type=int, default=5,
+                        help="attempts before giving up on transient "
+                             "failures (default: 5)")
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gtsc-repro",
@@ -322,7 +471,10 @@ def make_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--check", action="store_true",
                        help="record accesses and verify coherence")
     p_sim.add_argument("--json", action="store_true",
-                       help="emit machine-readable statistics")
+                       help="emit the versioned result envelope "
+                            "(same schema as 'submit --json')")
+    p_sim.add_argument("--set", action="append", metavar="NAME=VALUE",
+                       help="extra GPUConfig override; repeatable")
     _add_runner_args(p_sim)
     p_sim.set_defaults(fn=cmd_simulate)
 
@@ -409,6 +561,82 @@ def make_parser() -> argparse.ArgumentParser:
                        help="output path, or '-' for stdout")
     _add_runner_args(p_rep)
     p_rep.set_defaults(fn=cmd_report)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the experiment service (durable queue, dedup, "
+             "shared run cache) until SIGTERM")
+    _add_endpoint_args(p_serve)
+    p_serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker threads (default: 1)")
+    p_serve.add_argument("--queue-limit", type=int, default=64,
+                         help="max queued+running jobs before submits "
+                              "get a retry-after refusal (default: 64)")
+    p_serve.add_argument("--state-dir", default=DEFAULT_STATE_DIR,
+                         metavar="DIR",
+                         help="directory for the job journal "
+                              f"(default: {DEFAULT_STATE_DIR})")
+    p_serve.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                         metavar="DIR",
+                         help="run-cache directory, shared with the "
+                              "batch harness "
+                              f"(default: {DEFAULT_CACHE_DIR})")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="disable the on-disk run cache")
+    p_serve.add_argument("--cache-max-mb", type=int, default=None,
+                         metavar="MB",
+                         help="LRU-prune the run cache above this "
+                              "size (default: unbounded)")
+    p_serve.add_argument("--job-timeout", type=float, default=None,
+                         metavar="S",
+                         help="per-job execution timeout in seconds "
+                              "(default: none)")
+    p_serve.add_argument("--max-attempts", type=int, default=3,
+                         help="lease grants per job before terminal "
+                              "failure + quarantine (default: 3)")
+    p_serve.add_argument("--lease-duration", type=float, default=300.0,
+                         metavar="S",
+                         help="seconds a worker may hold a job before "
+                              "it is requeued (default: 300)")
+    p_serve.add_argument("--retry-after", type=float, default=1.0,
+                         metavar="S",
+                         help="retry-after hint sent with busy/"
+                              "draining refusals (default: 1)")
+    p_serve.add_argument("--drain-timeout", type=float, default=30.0,
+                         metavar="S",
+                         help="max seconds SIGTERM waits for in-"
+                              "flight results (default: 30)")
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_sub = sub.add_parser(
+        "submit",
+        help="submit one simulation point to a running service")
+    p_sub.add_argument("workload", choices=ALL_NAMES)
+    p_sub.add_argument("--protocol", default="gtsc",
+                       choices=[p.value for p in Protocol])
+    p_sub.add_argument("--consistency", default="rc",
+                       choices=[c.value for c in Consistency])
+    p_sub.add_argument("--lease", type=int, default=10)
+    p_sub.add_argument("--preset", default="small",
+                       choices=["tiny", "small", "paper"])
+    p_sub.add_argument("--scale", type=float, default=0.5)
+    p_sub.add_argument("--seed", type=int, default=2018)
+    p_sub.add_argument("--set", action="append", metavar="NAME=VALUE",
+                       help="extra GPUConfig override; repeatable")
+    p_sub.add_argument("--no-wait", action="store_true",
+                       help="enqueue and return the job id instead of "
+                            "waiting for the result")
+    p_sub.add_argument("--json", action="store_true",
+                       help="emit the versioned result envelope")
+    _add_client_args(p_sub)
+    p_sub.set_defaults(fn=cmd_submit)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="list the service's job queue and state counts")
+    p_jobs.add_argument("--json", action="store_true",
+                        help="emit the raw reply")
+    _add_client_args(p_jobs)
+    p_jobs.set_defaults(fn=cmd_jobs)
     return parser
 
 

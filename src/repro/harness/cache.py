@@ -124,6 +124,11 @@ class JsonFileCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            # refresh the entry's LRU clock (prune evicts by mtime)
+            os.utime(path, None)
+        except OSError:
+            pass
         return value
 
     def put(self, key: str, value) -> None:
@@ -144,8 +149,67 @@ class JsonFileCache:
             # a read-only or full disk must not fail the experiment
             pass
 
+    def _entries(self):
+        """``(mtime, size, path)`` of every entry file, oldest first.
+
+        mtime doubles as the LRU clock: writes stamp it naturally and
+        :meth:`get` re-stamps it on every hit.
+        """
+        entries = []
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return entries
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.cache_dir, name)
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue
+            entries.append((info.st_mtime, info.st_size, path))
+        entries.sort()
+        return entries
+
+    def prune(self, max_bytes: int) -> Dict[str, int]:
+        """Evict least-recently-used entries until <= ``max_bytes``.
+
+        A long-lived server writes one file per distinct point forever;
+        this is the bound that keeps the cache directory finite.
+        Returns ``{"evicted": n, "freed_bytes": b, "bytes": left}``.
+        Eviction is best-effort: an entry that vanishes concurrently
+        (another process pruning) is simply counted as already gone.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        evicted = freed = 0
+        for _, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+            freed += size
+        return {"evicted": evicted, "freed_bytes": freed,
+                "bytes": total}
+
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses}
+        """Hit/miss counters plus the on-disk footprint.
+
+        ``entries``/``bytes`` are measured from the directory, so they
+        reflect what every process sharing the cache has written, not
+        just this handle.
+        """
+        entries = self._entries()
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(entries),
+                "bytes": sum(size for _, size, _ in entries)}
 
 
 class RunCache(JsonFileCache):

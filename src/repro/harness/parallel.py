@@ -37,6 +37,29 @@ from repro.stats.collector import RunStats
 from repro.workloads import build_workload
 
 
+class SimulationJobError(RuntimeError):
+    """A worker failure annotated with the point that caused it.
+
+    A bare traceback out of a process pool says *what* broke but not
+    *which of the 40 submitted points* broke it; this wrapper pins the
+    workload, protocol/consistency, scale, seed and preset to the
+    failure so a sweep can be re-narrowed to the offending point.
+
+    Built from two positional arguments (message, context dict) only,
+    so the default ``Exception`` pickling round-trips it intact across
+    the ``fork``/``spawn`` process boundary.
+    """
+
+    def __init__(self, message: str, context: Dict) -> None:
+        super().__init__(message, context)
+        self.context = dict(context)
+
+    def __str__(self) -> str:
+        detail = ", ".join(f"{k}={v}" for k, v in
+                           sorted(self.context.items()))
+        return f"{self.args[0]} [{detail}]"
+
+
 def _simulate_point(preset: str, scale: float, seed: int,
                     config_overrides: Tuple, point: Point,
                     trace_cache_dir: Optional[str] = None) -> Dict:
@@ -48,19 +71,38 @@ def _simulate_point(preset: str, scale: float, seed: int,
     worker agree on every parameter.  ``trace_cache_dir`` lets workers
     share the parent's on-disk compiled-trace cache instead of each
     re-generating the workload.
+
+    Any failure is re-raised as :class:`SimulationJobError` carrying
+    the point's identity, chained to the original exception.
     """
     from repro.config import GPUConfig
 
     workload, protocol, consistency, overrides = point
-    factory = getattr(GPUConfig, preset)
-    merged = dict(config_overrides)
-    merged.update(overrides)
-    config = factory(protocol=protocol, consistency=consistency,
-                     **merged)
-    kernel = build_workload(workload, scale=scale, seed=seed,
-                            cache_dir=trace_cache_dir)
-    stats = GPU(config, record_accesses=False).run(kernel)
-    return stats.to_dict()
+    try:
+        factory = getattr(GPUConfig, preset)
+        merged = dict(config_overrides)
+        merged.update(overrides)
+        config = factory(protocol=protocol, consistency=consistency,
+                         **merged)
+        kernel = build_workload(workload, scale=scale, seed=seed,
+                                cache_dir=trace_cache_dir)
+        stats = GPU(config, record_accesses=False).run(kernel)
+        return stats.to_dict()
+    except SimulationJobError:
+        raise
+    except Exception as error:
+        context = {
+            "workload": workload,
+            "protocol": getattr(protocol, "value", protocol),
+            "consistency": getattr(consistency, "value", consistency),
+            "preset": preset,
+            "scale": scale,
+            "seed": seed,
+        }
+        if overrides:
+            context["overrides"] = dict(overrides)
+        raise SimulationJobError(
+            f"{type(error).__name__}: {error}", context) from error
 
 
 class ParallelRunner(ExperimentRunner):

@@ -1,0 +1,54 @@
+"""The experiment service: a durable queue in front of the simulator.
+
+``repro.serve`` turns the one-shot harness into a long-lived server
+so many clients can share one simulation budget:
+
+* :mod:`~repro.serve.jobs` — crash-safe JSONL job journal with
+  leases (PENDING -> LEASED -> DONE/FAILED, expiry requeues);
+* :mod:`~repro.serve.scheduler` — single-flight dedup keyed by
+  :func:`repro.harness.cache.run_key` plus the shared
+  :class:`~repro.harness.cache.RunCache`;
+* :mod:`~repro.serve.workers` — leased worker threads with per-job
+  timeout, jittered retry, and failure quarantine;
+* :mod:`~repro.serve.server` / :mod:`~repro.serve.client` — the
+  newline-JSON TCP protocol (versioned, with backpressure);
+* :mod:`~repro.serve.schema` — the request/result schema shared with
+  ``gtsc-repro simulate --json``.
+
+See ``docs/SERVING.md`` for the protocol and operational knobs.
+"""
+
+from __future__ import annotations
+
+from repro.serve.client import ServeClient, ServeError, \
+    ServeUnavailable
+from repro.serve.jobs import Job, JobStore
+from repro.serve.scheduler import Busy, Quarantined, Scheduler, \
+    Submission
+from repro.serve.schema import PROTOCOL_VERSION, SpecError, \
+    make_spec, result_envelope, spec_config, spec_key, validate_spec
+from repro.serve.server import ServeServer
+from repro.serve.workers import JobTimeout, WorkerPool, execute_spec
+
+__all__ = [
+    "Busy",
+    "Job",
+    "JobStore",
+    "JobTimeout",
+    "PROTOCOL_VERSION",
+    "Quarantined",
+    "Scheduler",
+    "ServeClient",
+    "ServeError",
+    "ServeServer",
+    "ServeUnavailable",
+    "SpecError",
+    "Submission",
+    "WorkerPool",
+    "execute_spec",
+    "make_spec",
+    "result_envelope",
+    "spec_config",
+    "spec_key",
+    "validate_spec",
+]

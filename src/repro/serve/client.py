@@ -1,0 +1,150 @@
+"""Blocking client for the serve protocol, with retry and backoff.
+
+The client is deliberately synchronous — it is what the CLI, tests,
+and simple sweep drivers use, and a blocking socket per caller keeps
+it dependency-free.  Each logical request opens one connection, sends
+one newline-terminated JSON object, and reads one reply line.
+
+Transient trouble is retried transparently, with jittered exponential
+backoff, up to ``retries`` attempts:
+
+* refused/reset connections and socket timeouts (server restarting,
+  not yet up);
+* ``busy`` / ``draining`` refusals — the wait honours the server's
+  ``retry_after`` as a floor, so a loaded server sets the pace of its
+  own clients.
+
+Protocol errors (``bad-request``, ``quarantined``, ``failed``,
+``unsupported-version``) are *not* retried — retrying a request that
+the server understood and rejected can only reproduce the rejection —
+and surface as :class:`ServeError` carrying the full reply.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import time
+from typing import Callable, Dict, Optional
+
+from repro.serve import schema
+from repro.stats.collector import RunStats
+
+#: refusals that mean "try again later", not "you are wrong"
+TRANSIENT_ERRORS = ("busy", "draining")
+
+
+class ServeError(Exception):
+    """A reply with ``ok: false`` (after retries, for transient ones)."""
+
+    def __init__(self, reply: Dict) -> None:
+        message = reply.get("message") or reply.get("error") or \
+            "request failed"
+        super().__init__(f"{reply.get('error', 'error')}: {message}")
+        self.error = reply.get("error", "error")
+        self.reply = reply
+
+
+class ServeUnavailable(ConnectionError):
+    """Could not get any reply within the retry budget."""
+
+
+class ServeClient:
+    """One server endpoint plus a retry policy."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 timeout: float = 120.0, retries: int = 5,
+                 backoff_base: float = 0.2, backoff_cap: float = 5.0,
+                 rng: Optional[random.Random] = None,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        if retries < 1:
+            raise ValueError("retries must be >= 1")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        #: connection failures + transient refusals absorbed so far
+        self.retries_used = 0
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _roundtrip(self, payload: Dict) -> Dict:
+        """One connection, one request line, one reply line."""
+        with socket.create_connection((self.host, self.port),
+                                      timeout=self.timeout) as sock:
+            sock.sendall(json.dumps(
+                payload, sort_keys=True,
+                separators=(",", ":")).encode() + b"\n")
+            with sock.makefile("rb") as stream:
+                line = stream.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def _backoff(self, attempt: int, floor: float = 0.0) -> float:
+        base = min(self.backoff_cap,
+                   self.backoff_base * (2 ** attempt))
+        return max(floor, base * (0.5 + self._rng.random() / 2))
+
+    def request(self, payload: Dict) -> Dict:
+        """Send one op, retrying transient failures; returns the reply.
+
+        The returned dict always has ``ok: true`` — anything else
+        became an exception.
+        """
+        payload = dict(payload)
+        payload.setdefault("v", schema.PROTOCOL_VERSION)
+        failure: Optional[BaseException] = None
+        for attempt in range(self.retries):
+            if attempt:
+                self.retries_used += 1
+            try:
+                reply = self._roundtrip(payload)
+            except (OSError, ValueError) as error:
+                failure = error
+                self._sleep(self._backoff(attempt))
+                continue
+            if reply.get("ok"):
+                return reply
+            if reply.get("error") in TRANSIENT_ERRORS:
+                failure = ServeError(reply)
+                self._sleep(self._backoff(
+                    attempt, floor=float(reply.get("retry_after", 0))))
+                continue
+            raise ServeError(reply)
+        raise ServeUnavailable(
+            f"no reply from {self.host}:{self.port} after "
+            f"{self.retries} attempt(s): {failure}")
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+    def submit(self, spec: Dict, wait: bool = True) -> Dict:
+        """Submit one validated spec; returns the result envelope
+        (or the acceptance reply when ``wait=False``)."""
+        return self.request({"op": "submit",
+                             "spec": schema.validate_spec(spec),
+                             "wait": wait})
+
+    def submit_stats(self, spec: Dict) -> RunStats:
+        """Submit and rebuild the result as a :class:`RunStats` —
+        bit-identical to running the simulation locally."""
+        return RunStats.from_dict(self.submit(spec)["stats"])
+
+    def healthz(self) -> Dict:
+        return self.request({"op": "healthz"})
+
+    def metrics(self) -> Dict:
+        return self.request({"op": "metrics"})
+
+    def jobs(self) -> Dict:
+        return self.request({"op": "jobs"})
+
+    def status(self, job_id: str) -> Dict:
+        return self.request({"op": "status", "job_id": job_id})

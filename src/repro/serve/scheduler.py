@@ -1,0 +1,194 @@
+"""Single-flight scheduling: N identical submissions, one simulation.
+
+Simulations are pure functions of their spec (that is what makes the
+run cache sound), so the scheduler treats the
+:func:`~repro.serve.schema.spec_key` digest as the unit of work and
+enforces one invariant: **at any moment, at most one execution per
+key exists anywhere in the system**.  A submission resolves through
+the first of:
+
+1. **cache** — the key is already in the :class:`RunCache` (from a
+   previous service run *or* any CLI/harness run that shared the
+   cache directory): the result is returned immediately, no job;
+2. **quarantine** — the key recently failed terminally: the recorded
+   error is raised immediately instead of re-burning workers;
+3. **coalesce** — a job for the key is already queued or running: the
+   caller is attached to the existing job's future;
+4. **enqueue** — a new job is journalled and the pool is woken; this
+   is the only path that can be refused for backpressure
+   (:class:`Busy`), because attaching a waiter or reading the cache
+   costs nothing.
+
+Waiters hold :class:`concurrent.futures.Future` objects resolved from
+worker threads; the asyncio server awaits them via
+``asyncio.wrap_future`` without blocking the event loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.harness.cache import RunCache
+from repro.serve import schema
+from repro.serve.jobs import JobStore
+from repro.serve.workers import WorkerPool
+from repro.stats.collector import RunStats
+
+
+class Busy(Exception):
+    """Queue full — retry after ``retry_after`` seconds."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(f"queue full, retry after {retry_after:.1f}s")
+        self.retry_after = retry_after
+
+
+class Quarantined(Exception):
+    """The identical point failed terminally moments ago."""
+
+
+@dataclass
+class Submission:
+    """How one submit was satisfied, plus the future of its result."""
+
+    key: str
+    job_id: Optional[str]        # None when served straight from cache
+    cached: bool
+    coalesced: bool
+    future: "Future[RunStats]"
+
+
+class Scheduler:
+    """Owns the store, the result cache, and the worker pool."""
+
+    def __init__(self, store: JobStore,
+                 cache: Optional[RunCache] = None,
+                 jobs: int = 1, queue_limit: int = 64,
+                 retry_after: float = 1.0,
+                 cache_max_bytes: Optional[int] = None,
+                 **pool_options) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.store = store
+        self.cache = cache
+        self.queue_limit = queue_limit
+        self.retry_after = retry_after
+        self.cache_max_bytes = cache_max_bytes
+        self.pool = WorkerPool(store, jobs=jobs,
+                               on_result=self._on_result,
+                               on_failure=self._on_failure,
+                               **pool_options)
+        self._lock = threading.Lock()
+        self._futures: Dict[str, "Future[RunStats]"] = {}
+        self.submits = 0
+        self.cache_hits = 0
+        self.coalesced = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the workers (pending journal entries resume here)."""
+        self.pool.start()
+
+    def stop(self, wait: bool = True) -> None:
+        self.pool.stop(wait=wait)
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: Dict) -> Submission:
+        """Route one validated spec; see the module docstring order."""
+        key = schema.spec_key(spec)
+        with self._lock:
+            self.submits += 1
+            if self.cache is not None:
+                stats = self.cache.get(key)
+                if stats is not None:
+                    self.cache_hits += 1
+                    future: "Future[RunStats]" = Future()
+                    future.set_result(stats)
+                    return Submission(key=key, job_id=None,
+                                      cached=True, coalesced=False,
+                                      future=future)
+            error = self.pool.quarantined(key)
+            if error is not None:
+                raise Quarantined(error)
+            pending = self._futures.get(key)
+            if pending is not None:
+                # the job may have just left the queue (DONE) while
+                # its result is still being published to the cache;
+                # the live future bridges that window
+                self.coalesced += 1
+                active = self.store.active_for(key)
+                return Submission(key=key,
+                                  job_id=active.id if active else None,
+                                  cached=False, coalesced=True,
+                                  future=pending)
+            existing = self.store.active_for(key)
+            if existing is not None:
+                self.coalesced += 1
+                return Submission(key=key, job_id=existing.id,
+                                  cached=False, coalesced=True,
+                                  future=self._future_for(key))
+            if self.store.active_count() >= self.queue_limit:
+                self.rejected += 1
+                raise Busy(self.retry_after)
+            job = self.store.submit(spec, key)
+            submission = Submission(key=key, job_id=job.id,
+                                    cached=False, coalesced=False,
+                                    future=self._future_for(key))
+        self.pool.notify()
+        return submission
+
+    def _future_for(self, key: str) -> "Future[RunStats]":
+        future = self._futures.get(key)
+        if future is None:
+            future = Future()
+            self._futures[key] = future
+        return future
+
+    # ------------------------------------------------------------------
+    # worker-thread callbacks
+    # ------------------------------------------------------------------
+    def _on_result(self, job, stats: RunStats) -> None:
+        if self.cache is not None:
+            self.cache.put(job.key, stats)
+            if self.cache_max_bytes is not None:
+                self.cache.prune(self.cache_max_bytes)
+        with self._lock:
+            future = self._futures.pop(job.key, None)
+        if future is not None:
+            future.set_result(stats)
+
+    def _on_failure(self, job, message: str) -> None:
+        with self._lock:
+            future = self._futures.pop(job.key, None)
+        if future is not None:
+            future.set_exception(Quarantined(message))
+
+    # ------------------------------------------------------------------
+    def inflight(self) -> int:
+        """Keys with unresolved waiters (a drain gauge)."""
+        with self._lock:
+            return len(self._futures)
+
+    def snapshot(self) -> Dict:
+        """One flat dict of everything the metrics endpoint exports."""
+        counts = self.store.counts()
+        out = {
+            "submits": self.submits,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "executed": self.pool.executed,
+            "retried": self.pool.retried,
+            "failed": self.pool.failed,
+            "timeouts": self.pool.timeouts,
+        }
+        for state, value in counts.items():
+            out[f"jobs_{state}"] = value
+        if self.cache is not None:
+            for name, value in self.cache.stats().items():
+                out[f"cache_{name}"] = value
+        return out

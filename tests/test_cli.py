@@ -136,9 +136,39 @@ def test_simulate_json_output(capsys):
                            "--scale", "0.1", "--json")
     assert code == 0
     data = json.loads(out)
-    assert data["cycles"] > 0
-    assert "counters" in data and "energy_j" in data
-    assert data["histograms"]["load_latency"]["count"] > 0
+    # the versioned result envelope shared with the serve protocol
+    assert data["v"] == 1 and data["kind"] == "result"
+    assert data["spec"]["workload"] == "HS"
+    assert data["cached"] is False and data["coalesced"] is False
+    assert len(data["key"]) == 64
+    stats = data["stats"]
+    assert stats["cycles"] > 0
+    assert "counters" in stats and "energy_j" in stats
+    assert stats["histograms"]["load_latency"]["count"] > 0
+
+
+def test_simulate_json_key_matches_run_cache(capsys):
+    """The envelope key IS the harness run_key: results interchange."""
+    import json
+    from repro.serve import schema
+
+    code, out, _ = run_cli(capsys, "simulate", "HS", "--preset", "tiny",
+                           "--scale", "0.1", "--json")
+    assert code == 0
+    data = json.loads(out)
+    spec = schema.make_spec("HS", preset="tiny", scale=0.1,
+                            overrides={"lease": 10})
+    assert data["key"] == schema.spec_key(spec)
+
+
+def test_simulate_set_override_changes_key(capsys):
+    import json
+    code, out, _ = run_cli(capsys, "simulate", "HS", "--preset", "tiny",
+                           "--scale", "0.1", "--json",
+                           "--set", "l1_size=2048")
+    assert code == 0
+    data = json.loads(out)
+    assert data["spec"]["overrides"]["l1_size"] == 2048
 
 
 def test_sweep_command(capsys):

@@ -1,0 +1,182 @@
+"""Client retry policy against a scripted (flaky) fake server.
+
+The fake server is a real TCP listener driven by a per-connection
+script, so these tests exercise the actual socket path the client
+uses — refused connections, immediate hangups, transient refusals,
+and terminal protocol errors — without a simulator in sight.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.serve import PROTOCOL_VERSION, ServeClient, ServeError, \
+    ServeUnavailable
+
+OK_REPLY = {"v": PROTOCOL_VERSION, "ok": True, "kind": "result",
+            "answer": 42}
+
+
+class FakeServer:
+    """Answers one connection per script entry, then keeps answering
+    the last entry.  Entries:
+
+    * ``"hangup"`` — accept and close without replying;
+    * ``"garbage"`` — reply with a non-JSON line;
+    * a dict — reply with that JSON object.
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.connections = 0
+        self.requests = []
+        self._sock = socket.socket()
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR,
+                              1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve,
+                                        daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            index = min(self.connections, len(self.script) - 1)
+            action = self.script[index]
+            self.connections += 1
+            with conn:
+                if action == "hangup":
+                    continue
+                line = conn.makefile("rb").readline()
+                if line:
+                    self.requests.append(json.loads(line))
+                if action == "garbage":
+                    conn.sendall(b"this is not json\n")
+                else:
+                    conn.sendall(json.dumps(action).encode() + b"\n")
+
+    def close(self):
+        self._sock.close()
+
+
+@pytest.fixture
+def sleeps():
+    return []
+
+
+def client_for(port, sleeps, **kwargs):
+    kwargs.setdefault("retries", 4)
+    kwargs.setdefault("backoff_base", 0.1)
+    kwargs.setdefault("timeout", 2.0)
+    return ServeClient(port=port, rng=random.Random(7),
+                       sleep=sleeps.append, **kwargs)
+
+
+def test_retries_through_hangups_then_succeeds(sleeps):
+    server = FakeServer(["hangup", "hangup", OK_REPLY])
+    try:
+        client = client_for(server.port, sleeps)
+        reply = client.request({"op": "healthz"})
+        assert reply["answer"] == 42
+        assert server.connections == 3
+        assert client.retries_used == 2
+        assert len(sleeps) == 2
+        # exponential: second wait drawn from a doubled base
+        assert sleeps[0] < 0.1 and sleeps[1] < 0.2
+    finally:
+        server.close()
+
+
+def test_busy_reply_waits_at_least_retry_after(sleeps):
+    busy = {"v": PROTOCOL_VERSION, "ok": False, "error": "busy",
+            "retry_after": 2.5}
+    server = FakeServer([busy, OK_REPLY])
+    try:
+        client = client_for(server.port, sleeps)
+        reply = client.request({"op": "submit"})
+        assert reply["ok"]
+        # the server's pacing hint is a floor under the backoff
+        assert len(sleeps) == 1 and sleeps[0] >= 2.5
+    finally:
+        server.close()
+
+
+def test_draining_is_retried_like_busy(sleeps):
+    draining = {"v": PROTOCOL_VERSION, "ok": False,
+                "error": "draining", "retry_after": 0.1}
+    server = FakeServer([draining, draining, OK_REPLY])
+    try:
+        client = client_for(server.port, sleeps)
+        assert client.request({"op": "submit"})["ok"]
+        assert server.connections == 3
+    finally:
+        server.close()
+
+
+def test_garbage_reply_is_retried(sleeps):
+    server = FakeServer(["garbage", OK_REPLY])
+    try:
+        client = client_for(server.port, sleeps)
+        assert client.request({"op": "healthz"})["ok"]
+        assert server.connections == 2
+    finally:
+        server.close()
+
+
+def test_protocol_errors_are_not_retried(sleeps):
+    bad = {"v": PROTOCOL_VERSION, "ok": False, "error": "bad-request",
+           "message": "unknown workload 'NOPE'"}
+    server = FakeServer([bad, OK_REPLY])
+    try:
+        client = client_for(server.port, sleeps)
+        with pytest.raises(ServeError, match="NOPE") as excinfo:
+            client.request({"op": "submit"})
+        assert excinfo.value.error == "bad-request"
+        assert server.connections == 1      # no second attempt
+        assert sleeps == []
+    finally:
+        server.close()
+
+
+def test_gives_up_after_retry_budget(sleeps):
+    server = FakeServer(["hangup"])
+    try:
+        client = client_for(server.port, sleeps, retries=3)
+        with pytest.raises(ServeUnavailable, match="3 attempt"):
+            client.request({"op": "healthz"})
+        assert server.connections == 3
+        assert len(sleeps) == 3
+    finally:
+        server.close()
+
+
+def test_connection_refused_counts_as_transient(sleeps):
+    # grab a port with no listener behind it
+    placeholder = socket.socket()
+    placeholder.bind(("127.0.0.1", 0))
+    port = placeholder.getsockname()[1]
+    placeholder.close()
+    client = client_for(port, sleeps, retries=2)
+    with pytest.raises(ServeUnavailable):
+        client.request({"op": "healthz"})
+    assert len(sleeps) == 2
+
+
+def test_request_carries_protocol_version(sleeps):
+    server = FakeServer([OK_REPLY])
+    try:
+        client = client_for(server.port, sleeps)
+        client.request({"op": "healthz"})
+        assert server.requests[0]["v"] == PROTOCOL_VERSION
+    finally:
+        server.close()

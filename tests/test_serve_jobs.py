@@ -1,0 +1,230 @@
+"""The durable job store: journal, leases, expiry, crash replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.jobs import (DONE, FAILED, LEASED, PENDING, JobStore)
+
+SPEC = {"workload": "HS", "protocol": "gtsc", "consistency": "rc",
+        "preset": "tiny", "scale": 0.1, "seed": 7, "overrides": {}}
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def store(tmp_path, clock):
+    s = JobStore(str(tmp_path / "jobs.jsonl"), clock=clock)
+    yield s
+    s.close()
+
+
+# ---------------------------------------------------------------------------
+# lifecycle
+# ---------------------------------------------------------------------------
+
+def test_submit_lease_complete(store):
+    job = store.submit(SPEC, "key-a")
+    assert job.state == PENDING and job.id == "j000001"
+    leased = store.lease("w0", duration=60)
+    assert leased.id == job.id
+    assert leased.state == LEASED and leased.attempts == 1
+    store.complete(job.id)
+    assert store.get(job.id).state == DONE
+    assert store.counts() == {"pending": 0, "leased": 0,
+                              "done": 1, "failed": 0}
+
+
+def test_submit_deduplicates_active_key(store):
+    first = store.submit(SPEC, "key-a")
+    second = store.submit(SPEC, "key-a")
+    assert second.id == first.id
+    assert store.active_count() == 1
+    # a *finished* job no longer blocks a resubmit
+    store.lease("w0", duration=60)
+    store.complete(first.id)
+    third = store.submit(SPEC, "key-a")
+    assert third.id != first.id
+
+
+def test_lease_order_is_submission_order(store):
+    a = store.submit(SPEC, "key-a")
+    b = store.submit(SPEC, "key-b")
+    assert store.lease("w0", duration=60).id == a.id
+    assert store.lease("w1", duration=60).id == b.id
+    assert store.lease("w2", duration=60) is None
+
+
+def test_fail_is_terminal_and_frees_the_key(store):
+    job = store.submit(SPEC, "key-a")
+    store.lease("w0", duration=60)
+    store.fail(job.id, "boom")
+    failed = store.get(job.id)
+    assert failed.state == FAILED and failed.error == "boom"
+    assert store.active_for("key-a") is None
+
+
+def test_requeue_honours_not_before(store, clock):
+    job = store.submit(SPEC, "key-a")
+    store.lease("w0", duration=60)
+    store.requeue(job.id, not_before=clock.now + 30)
+    assert store.lease("w0", duration=60) is None     # backing off
+    clock.advance(31)
+    assert store.lease("w0", duration=60).id == job.id
+
+
+def test_finish_requires_a_lease(store):
+    job = store.submit(SPEC, "key-a")
+    with pytest.raises(ValueError):
+        store.complete(job.id)
+    with pytest.raises(ValueError):
+        store.fail(job.id, "nope")
+
+
+# ---------------------------------------------------------------------------
+# lease expiry
+# ---------------------------------------------------------------------------
+
+def test_expired_lease_is_requeued_to_another_worker(store, clock):
+    job = store.submit(SPEC, "key-a")
+    store.lease("w0", duration=60)
+    clock.advance(30)
+    assert store.lease("w1", duration=60) is None     # still held
+    clock.advance(31)                                 # deadline passed
+    taken = store.lease("w1", duration=60)
+    assert taken.id == job.id
+    assert taken.worker == "w1" and taken.attempts == 2
+
+
+def test_completing_after_expiry_reassignment_is_refused(store, clock):
+    """The slow first worker cannot complete a job it lost."""
+    job = store.submit(SPEC, "key-a")
+    store.lease("w0", duration=10)
+    clock.advance(11)
+    store.lease("w1", duration=60)
+    store.complete(job.id)            # w1's completion wins
+    assert store.get(job.id).state == DONE
+    with pytest.raises(ValueError):
+        store.complete(job.id)        # w0 waking up late
+
+
+# ---------------------------------------------------------------------------
+# durability: journal replay
+# ---------------------------------------------------------------------------
+
+def test_replay_restores_every_state(tmp_path, clock):
+    path = str(tmp_path / "jobs.jsonl")
+    store = JobStore(path, clock=clock)
+    done = store.submit(SPEC, "key-done")
+    store.lease("w0", duration=60)
+    store.complete(done.id)
+    failed = store.submit(SPEC, "key-failed")
+    store.lease("w0", duration=60)
+    store.fail(failed.id, "exploded")
+    pending = store.submit(SPEC, "key-pending")
+    store.close()
+
+    reopened = JobStore(path, clock=clock)
+    assert reopened.get(done.id).state == DONE
+    assert reopened.get(failed.id).state == FAILED
+    assert reopened.get(failed.id).error == "exploded"
+    assert reopened.get(pending.id).state == PENDING
+    assert reopened.get(pending.id).spec == SPEC
+    # ids keep counting from where the journal left off
+    assert reopened.submit(SPEC, "key-new").id == "j000004"
+    reopened.close()
+
+
+def test_killed_workers_job_is_requeued_on_reopen(tmp_path, clock):
+    """A process killed mid-execution loses no jobs: the LEASED entry
+    is requeued at the next open, even before its deadline."""
+    path = str(tmp_path / "jobs.jsonl")
+    store = JobStore(path, clock=clock)
+    job = store.submit(SPEC, "key-a")
+    store.lease("w0", duration=3600)
+    store.close()                      # "kill -9" between lease+done
+
+    reopened = JobStore(path, clock=clock)
+    recovered = reopened.get(job.id)
+    assert recovered.state == PENDING
+    assert reopened.lease("w1", duration=60).id == job.id
+    reopened.close()
+
+
+def test_torn_trailing_line_is_tolerated(tmp_path, clock):
+    path = str(tmp_path / "jobs.jsonl")
+    store = JobStore(path, clock=clock)
+    job = store.submit(SPEC, "key-a")
+    store.close()
+    with open(path, "a") as handle:
+        handle.write('{"op": "lease", "id": "j0000')   # torn write
+    with pytest.warns(RuntimeWarning, match="unreadable record"):
+        reopened = JobStore(path, clock=clock)
+    assert reopened.get(job.id).state == PENDING
+    reopened.close()
+
+
+def test_replay_loses_and_duplicates_nothing(tmp_path, clock):
+    """Crash-at-any-point invariant, exhaustively over journal
+    prefixes: replaying the first N lines always yields a queue whose
+    jobs are exactly the submitted ones (no loss, no duplicates) in a
+    legal state."""
+    path = str(tmp_path / "jobs.jsonl")
+    store = JobStore(path, clock=clock)
+    for index in range(4):
+        store.submit(SPEC, f"key-{index}")
+    for _ in range(3):
+        job = store.lease("w0", duration=60)
+        store.complete(job.id)
+    store.close()
+    lines = open(path).read().splitlines()
+
+    for cut in range(len(lines) + 1):
+        partial = tmp_path / f"cut-{cut}.jsonl"
+        partial.write_text("\n".join(lines[:cut]) + "\n")
+        replayed = JobStore(str(partial), clock=clock)
+        jobs = replayed.jobs()
+        assert len(jobs) == len({j.id for j in jobs})   # no dupes
+        submitted = sum(1 for line in lines[:cut]
+                        if json.loads(line)["op"] == "submit")
+        assert len(jobs) == submitted                   # no loss
+        assert all(j.state in (PENDING, DONE) for j in jobs)
+        replayed.close()
+
+
+def test_compact_shrinks_and_preserves(tmp_path, clock):
+    path = str(tmp_path / "jobs.jsonl")
+    store = JobStore(path, clock=clock)
+    for index in range(5):
+        store.submit(SPEC, f"key-{index}")
+        job = store.lease("w0", duration=60)
+        store.complete(job.id)
+    before = store.jobs()
+    lines_before = len(open(path).read().splitlines())
+    store.compact()
+    lines_after = len(open(path).read().splitlines())
+    assert lines_after == 5 < lines_before
+    assert [j.to_dict() for j in store.jobs()] == \
+        [j.to_dict() for j in before]
+    # the compacted journal replays identically
+    store.close()
+    reopened = JobStore(path, clock=clock)
+    assert [j.to_dict() for j in reopened.jobs()] == \
+        [j.to_dict() for j in before]
+    reopened.close()
