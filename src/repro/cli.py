@@ -256,6 +256,18 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print(f"\n{len(points)} point(s) in {elapsed:.1f}s "
           f"({runner.simulations_run} simulated, "
           f"{len(points) - runner.simulations_run} from cache)")
+    if runner.engine_counters:
+        # where dispatch time went: bucket-direct vs heap-deferred
+        # events, and how much of the queue was cancelled work
+        totals = runner.engine_counters
+        scheduled = totals.get("engine_events_scheduled", 0) or 1
+        print("\nengine hot loop (summed over fresh simulations):")
+        for name in sorted(totals):
+            print(f"  {name:28s} {totals[name]:>12d}")
+        print(f"  {'bucket-direct share':28s} "
+              f"{totals.get('engine_bucket_direct', 0) / scheduled:>11.1%}")
+        print(f"  {'stale-cancel ratio':28s} "
+              f"{totals.get('engine_cancelled', 0) / scheduled:>11.1%}")
     if runner.disk_cache is not None:
         cache = runner.disk_cache.stats()
         print(f"disk cache: {cache['hits']} hit(s), "

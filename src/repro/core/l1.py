@@ -51,6 +51,13 @@ from repro.protocols.base import (
 )
 from repro.validate.versions import AtomicRecord, LoadRecord, StoreRecord
 
+
+def _unpinned(line) -> bool:
+    """Eviction predicate for fills: a way is up for grabs only when no
+    unacknowledged store is outstanding on it (module-level so the fill
+    path allocates no closure)."""
+    return line.pending_stores == 0
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.machine import Machine
     from repro.gpu.warp import Warp
@@ -138,7 +145,7 @@ class GTSCL1Controller(L1ControllerBase):
             return True
         if entry is None:
             if self.mshr.full:
-                self.stats.add("l1_mshr_stall")
+                self._counters["l1_mshr_stall"] += 1
                 if self.trace is not None:
                     self.trace.instant(self.engine.now, self.track,
                                        "mshr_stall", {"addr": addr})
@@ -264,7 +271,7 @@ class GTSCL1Controller(L1ControllerBase):
         line = self.cache.lookup(msg.addr, touch=False)
         if line is not None and line.pending_stores == 0:
             self.cache.invalidate(msg.addr)
-            self.stats.add("l1_back_invalidations")
+            self._counters["l1_back_invalidations"] += 1
 
     def _on_fill(self, msg: BusFill) -> None:
         if msg.epoch < self.epoch:
@@ -272,9 +279,7 @@ class GTSCL1Controller(L1ControllerBase):
             # meaningless now; refetch for whoever is still waiting
             self._refetch(msg.addr)
             return
-        line, _evicted = self.cache.allocate(
-            msg.addr, evictable=lambda l: l.pending_stores == 0
-        )
+        line, _evicted = self.cache.allocate(msg.addr, _unpinned)
         if line is None:
             # every way is pinned by pending stores: serve the waiters
             # straight from the response without caching the line
@@ -453,7 +458,7 @@ class GTSCL1Controller(L1ControllerBase):
         if stragglers:
             top_ts = max(w.warp.ts for w in stragglers)
             if installed:
-                self.stats.add("l1_renewals")
+                self._counters["l1_renewals"] += 1
                 if self.trace is not None:
                     self.trace.instant(self.engine.now, self.track,
                                        "renew_request",

@@ -123,7 +123,7 @@ class GTSCL2Bank(L2BankBase):
         if renewal:
             # requester already holds this exact version: extend the
             # lease without resending the data (a G-TSC traffic win)
-            self.stats.add("l2_renewals")
+            self._counters["l2_renewals"] += 1
             if self.trace is not None:
                 self.trace.instant(self.engine.now, self.track, "renew",
                                    {"addr": msg.addr, "rts": line.rts})
@@ -247,7 +247,7 @@ class GTSCL2Bank(L2BankBase):
 
     def _evict(self, evicted: CacheLine) -> None:
         """Fold the victim's lease into ``mem_ts`` and write back."""
-        self.stats.add("l2_evictions")
+        self._counters["l2_evictions"] += 1
         if self.audit is not None:
             self.audit.record(self.engine.now, "evict", self.track,
                               evicted.addr, evicted.wts, evicted.rts,

@@ -25,11 +25,13 @@ Hot-path invariants (this is the single most-executed code in a run):
 * ``active`` is uid-ordered by construction (warps arrive in uid
   order and removal preserves order), so the GTO oldest-first scan is
   a plain iteration, never a sort.
-* Warp classification is cached as a packed int on the warp
-  (``warp.cls``) and recomputed only when the warp is dirty (its
-  schedule-relevant state was mutated) or its cached wake time has
-  passed — the dirty-set discipline that keeps :meth:`_pick_warp`
-  from re-deriving every warp's state on every issue.
+* Warp classification is cached in ``SM._cls``, a packed int list
+  parallel to ``active`` (``warp.slot`` is the shared index; -1 marks
+  a dirty entry whose schedule-relevant state was mutated).  The
+  selection scan walks the int list with index arithmetic and touches
+  a :class:`Warp` object only to reclassify a dirty/expired entry or
+  to issue from the chosen one — the dirty-set discipline that keeps
+  the scan from re-deriving every warp's state on every issue.
 """
 
 from __future__ import annotations
@@ -77,6 +79,9 @@ class SM:
 
         self.queue: Deque[Warp] = deque()   # warps waiting for a slot
         self.active: List[Warp] = []        # resident warps, uid-ordered
+        # packed classification cache, parallel to `active`
+        # (warp.slot indexes both; -1 = dirty, recompute on next scan)
+        self._cls: List[int] = []
         self.retired = 0
         self._rr = 0
         self._greedy = machine.config.scheduler is SchedulerPolicy.GTO
@@ -119,7 +124,11 @@ class SM:
                 block.append(self.queue.popleft())
             if len(self.active) + len(block) \
                     <= self.config.max_warps_per_sm:
+                base = len(self.active)
                 self.active.extend(block)
+                self._cls.extend([-1] * len(block))
+                for slot, member in enumerate(block, base):
+                    member.slot = slot
                 self._cta_members.setdefault(cta_id, []).extend(block)
             else:
                 # not enough room: put the CTA back and stop
@@ -134,10 +143,14 @@ class SM:
             self.engine.at(warp.ready_at, self._check_retire, warp)
             return
         warp.done = True
-        warp.cls_dirty = True
         self.retired += 1
-        self.stats.add("warps_retired")
-        self.active.remove(warp)
+        self._counters["warps_retired"] += 1
+        slot = warp.slot
+        active = self.active
+        active.pop(slot)
+        self._cls.pop(slot)
+        for index in range(slot, len(active)):
+            active[index].slot = index
         members = self._cta_members.get(warp.cta_id)
         if members is not None:
             members.remove(warp)
@@ -193,19 +206,17 @@ class SM:
     def _classify(self, warp: Warp) -> int:
         """The warp's packed (state, wake_time) classification.
 
-        Served from ``warp.cls`` unless the warp was mutated since the
-        last computation (``cls_dirty``) or its cached wake time has
-        been reached (a time-blocked warp becomes ready by the clock
-        alone).  States without a wake time can only change through a
-        mutation, which always sets the dirty flag.
+        Served from the ``_cls`` cache unless the warp was mutated
+        since the last computation (entry -1) or its cached wake time
+        has been reached (a time-blocked warp becomes ready by the
+        clock alone).  States without a wake time can only change
+        through a mutation, which always marks the entry dirty.
         """
-        if not warp.cls_dirty:
-            cls = warp.cls
-            if cls < 8 or self.engine.now < (cls >> 3) - 1:
-                return cls
+        cls = self._cls[warp.slot]
+        if cls >= 0 and (cls < 8 or self.engine.now < (cls >> 3) - 1):
+            return cls
         cls = self._classify_fresh(warp)
-        warp.cls = cls
-        warp.cls_dirty = False
+        self._cls[warp.slot] = cls
         return cls
 
     def _classify_fresh(self, warp: Warp) -> int:
@@ -279,8 +290,13 @@ class SM:
         if count == 0:
             return
         fresh = self._classify_fresh
+        cls_arr = self._cls
 
         # -- select the next warp, per the config policy ---------------
+        # The scans walk the packed int list; a warp object is touched
+        # only to reclassify a dirty/expired entry (_READY is the bare
+        # value 0: ready warps never carry wake bits, so `cls == 0` is
+        # the ready test).
         chosen = None
         if self._greedy:
             # greedy-then-oldest: stick with the current warp while it
@@ -289,39 +305,35 @@ class SM:
             # removal from active), so no membership scan is needed.
             last = self._last_warp
             if last is not None and not last.done:
-                cls = last.cls
-                if last.cls_dirty or (cls >= 8 and now >= (cls >> 3) - 1):
-                    cls = last.cls = fresh(last)
-                    last.cls_dirty = False
-                if cls & 7 == _READY:
+                slot = last.slot
+                cls = cls_arr[slot]
+                if cls < 0 or (cls >= 8 and now >= (cls >> 3) - 1):
+                    cls = cls_arr[slot] = fresh(last)
+                if cls == 0:
                     chosen = last
             if chosen is None:
-                for warp in active:  # uid-ordered by construction
-                    cls = warp.cls
-                    if warp.cls_dirty or (cls >= 8
-                                          and now >= (cls >> 3) - 1):
-                        cls = warp.cls = fresh(warp)
-                        warp.cls_dirty = False
-                    if cls & 7 == _READY:
-                        chosen = warp
+                for slot in range(count):  # uid-ordered by construction
+                    cls = cls_arr[slot]
+                    if cls < 0 or (cls >= 8 and now >= (cls >> 3) - 1):
+                        cls = cls_arr[slot] = fresh(active[slot])
+                    if cls == 0:
+                        chosen = active[slot]
                         break
         else:
             rr = self._rr
             if rr >= count:  # warps retired since the last update
                 rr %= count
             for k in range(count):
-                index = rr + k
-                if index >= count:
-                    index -= count
-                warp = active[index]
-                cls = warp.cls
-                if warp.cls_dirty or (cls >= 8 and now >= (cls >> 3) - 1):
-                    cls = warp.cls = fresh(warp)
-                    warp.cls_dirty = False
-                if cls & 7 == _READY:
-                    index += 1
-                    self._rr = 0 if index >= count else index
-                    chosen = warp
+                slot = rr + k
+                if slot >= count:
+                    slot -= count
+                cls = cls_arr[slot]
+                if cls < 0 or (cls >= 8 and now >= (cls >> 3) - 1):
+                    cls = cls_arr[slot] = fresh(active[slot])
+                if cls == 0:
+                    chosen = active[slot]
+                    slot += 1
+                    self._rr = 0 if slot >= count else slot
                     break
         if chosen is None:
             # no warp can issue: record why and arrange a wake-up.  The
@@ -330,8 +342,7 @@ class SM:
             # directly instead of re-deriving.
             wake: Optional[int] = None
             any_mem = False
-            for warp in active:
-                cls = warp.cls
+            for cls in cls_arr:
                 if cls & 7 == _BLOCKED_MEM:
                     any_mem = True
                 if cls >= 8:
@@ -348,7 +359,7 @@ class SM:
 
         # -- issue one instruction from the chosen warp ----------------
         warp = chosen
-        warp.cls_dirty = True
+        cls_arr[warp.slot] = -1
         if warp.pending_addrs is not None:
             self._issue_mem_accesses(warp)
         else:
@@ -394,7 +405,7 @@ class SM:
     # instruction issue
     # ------------------------------------------------------------------
     def _issue_mem_accesses(self, warp: Warp) -> None:
-        warp.cls_dirty = True
+        self._cls[warp.slot] = -1
         pending = warp.pending_addrs
         op = warp.pending_op
         l1 = self.l1
@@ -444,8 +455,9 @@ class SM:
         waiting = {w.uid for w in alive}
         if waiting and waiting <= arrived:
             self._barrier_arrived[cta_id] = set()
-            self.stats.add("barrier_releases")
+            self._counters["barrier_releases"] += 1
+            cls_arr = self._cls
             for member in alive:
                 member.barrier_blocked = False
-                member.cls_dirty = True
+                cls_arr[member.slot] = -1
             self._schedule_issue(0)

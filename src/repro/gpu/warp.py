@@ -17,10 +17,12 @@ per-warp state:
   completion callbacks, bound once when the SM takes ownership
   (:meth:`bind`).  The L1/L2/NoC completion path carries these exact
   objects, so issuing a memory access allocates no closure.
-* ``cls`` / ``cls_dirty`` — the SM scheduler's cached classification
-  of this warp (packed int: state in the low 3 bits, wake time + 1 in
-  the rest).  Any mutation of schedule-relevant state must set
-  ``cls_dirty``; completion callbacks and the SM's issue path do.
+* ``slot`` — this warp's index into the owning SM's ``active`` list
+  and its parallel ``_cls`` classification cache (packed int: state
+  in the low 3 bits, wake time + 1 in the rest; -1 = dirty).  Any
+  mutation of schedule-relevant state must mark the entry dirty with
+  ``sm._cls[warp.slot] = -1``; completion callbacks and the SM's
+  issue path do.
 """
 
 from __future__ import annotations
@@ -45,7 +47,7 @@ class Warp:
         "pending_addrs", "pending_op", "retry_at",
         "ready_at", "done", "barrier_blocked",
         "fence_wait_start",
-        "sm", "load_cb", "store_cb", "cls", "cls_dirty",
+        "sm", "load_cb", "store_cb", "slot",
     )
 
     def __init__(self, uid: int,
@@ -84,9 +86,9 @@ class Warp:
         self.sm = None
         self.load_cb = None
         self.store_cb = None
-        # cached scheduler classification (always recompute initially)
-        self.cls = 0
-        self.cls_dirty = True
+        # index into the owning SM's active/_cls lists (set on
+        # activation; the _cls entry starts dirty)
+        self.slot = -1
 
     def bind(self, sm) -> None:
         """Attach to the owning SM and prebind completion callbacks."""
@@ -99,8 +101,8 @@ class Warp:
     # profiles.  Keep in sync with SM.notify / SM._check_retire.
     def _load_done(self) -> None:
         self.outstanding_loads -= 1
-        self.cls_dirty = True
         sm = self.sm
+        sm._cls[self.slot] = -1
         if self.pc >= self.length:
             sm._check_retire(self)
         if sm.active:
@@ -115,8 +117,8 @@ class Warp:
 
     def _store_done(self) -> None:
         self.outstanding_stores -= 1
-        self.cls_dirty = True
         sm = self.sm
+        sm._cls[self.slot] = -1
         if self.pc >= self.length:
             sm._check_retire(self)
         if sm.active:

@@ -61,6 +61,9 @@ class ExperimentRunner:
         self._kernels: Dict[str, CompiledKernel] = {}
         #: actual simulations performed (cache hits don't count)
         self.simulations_run = 0
+        #: engine hot-loop counters summed over fresh simulations
+        #: (engine_* names; cached points contribute nothing)
+        self.engine_counters: Dict[str, int] = {}
         #: emit live heartbeat lines to stderr during batch prefetches
         self.progress = progress
 
@@ -105,7 +108,12 @@ class ExperimentRunner:
     def _simulate(self, workload: str, config: GPUConfig) -> RunStats:
         kernel = self._kernel(workload)
         self.simulations_run += 1
-        return GPU(config, record_accesses=False).run(kernel)
+        gpu = GPU(config, record_accesses=False)
+        stats = gpu.run(kernel)
+        totals = self.engine_counters
+        for name, value in gpu.machine.engine.counters().items():
+            totals[name] = totals.get(name, 0) + value
+        return stats
 
     def run(self, workload: str, protocol: Protocol,
             consistency: Consistency, **overrides) -> RunStats:

@@ -8,6 +8,17 @@ serves every protocol.
 Addresses everywhere in the reproduction are *line addresses* — the
 byte address divided by the line size — because the coalescing unit in
 the SM has already reduced thread accesses to line granularity.
+
+Hot-path layout: the tag and replacement state live in flat parallel
+lists (``_tags``/``_lru``, indexed ``set * assoc + way``) with an
+exact-match index (``_where``: addr → flat slot) kept alongside, so a
+lookup is a dict probe and victim selection is index arithmetic over a
+packed list — no per-object attribute chasing until a line is actually
+returned.  The :class:`CacheLine` objects remain the public API; the
+invariant is ``_tags[i] == _lines[i].addr`` when slot ``i`` holds a
+valid line and ``-1`` otherwise, which holds because validity and tag
+only change inside this module (controllers mutate protocol state —
+versions, timestamps, dirty bits — never the tag).
 """
 
 from __future__ import annotations
@@ -26,7 +37,7 @@ class CacheLine:
 
     __slots__ = (
         "addr", "valid", "version", "dirty",
-        "wts", "rts", "expiry", "pending_stores", "lru", "epoch",
+        "wts", "rts", "expiry", "pending_stores", "epoch",
         "renewals",
     )
 
@@ -42,8 +53,6 @@ class CacheLine:
         self.expiry: int = 0
         # number of unacknowledged stores targeting this line (G-TSC L1)
         self.pending_stores: int = 0
-        # replacement age; larger = more recently used
-        self.lru: int = 0
         # timestamp epoch for overflow handling (G-TSC)
         self.epoch: int = 0
         # renewal streak for the adaptive-lease extension
@@ -84,66 +93,88 @@ class CacheArray:
             raise ValueError("cache geometry must be positive")
         self.num_sets = num_sets
         self.assoc = assoc
-        self._sets: list[list[CacheLine]] = [
-            [CacheLine() for _ in range(assoc)] for _ in range(num_sets)
-        ]
+        size = num_sets * assoc
+        self._lines: list[CacheLine] = [CacheLine() for _ in range(size)]
+        # packed parallel state: tag per slot (-1 = invalid way) and
+        # replacement age per slot (larger = more recently used)
+        self._tags: list[int] = [-1] * size
+        self._lru: list[int] = [0] * size
+        # invalid ways per set: lets the victim scan skip the
+        # first-invalid-way probe on full sets without an exception
+        self._free: list[int] = [assoc] * num_sets
+        # exact-match accelerator: addr -> flat slot of its valid line
+        self._where: dict[int, int] = {}
         self._tick = 0
-
-    # -- internals -----------------------------------------------------------
-    def _set_of(self, addr: int) -> list[CacheLine]:
-        return self._sets[addr % self.num_sets]
-
-    def _touch(self, line: CacheLine) -> None:
-        self._tick += 1
-        line.lru = self._tick
 
     # -- queries ---------------------------------------------------------------
     def lookup(self, addr: int, touch: bool = True) -> Optional[CacheLine]:
         """Return the valid line holding ``addr``, or None (no side effects
-        beyond an LRU touch).  ``_set_of``/``_touch`` are inlined: this
-        runs for every L1 and L2 access."""
-        for line in self._sets[addr % self.num_sets]:
-            if line.addr == addr and line.valid:
-                if touch:
-                    self._tick += 1
-                    line.lru = self._tick
-                return line
-        return None
+        beyond an LRU touch).  This runs for every L1 and L2 access, so
+        it is a single dict probe."""
+        slot = self._where.get(addr)
+        if slot is None:
+            return None
+        if touch:
+            self._tick += 1
+            self._lru[slot] = self._tick
+        return self._lines[slot]
 
     def lines(self) -> Iterator[CacheLine]:
         """Iterate over every valid line (flush helpers, validators)."""
-        for cache_set in self._sets:
-            for line in cache_set:
-                if line.valid:
-                    yield line
+        lines = self._lines
+        for slot, tag in enumerate(self._tags):
+            if tag != -1:
+                yield lines[slot]
 
     def occupancy(self) -> int:
         """Number of valid lines currently held."""
-        return sum(1 for _ in self.lines())
+        return len(self._where)
 
     # -- mutation ----------------------------------------------------------------
+    def _victim_slot(
+        self,
+        addr: int,
+        evictable: Optional[Callable[[CacheLine], bool]],
+    ) -> int:
+        """Flat slot of the way that would be (re)used for ``addr``.
+
+        Preference order: the first invalid way, else the LRU way among
+        those for which ``evictable`` returns True.  Returns -1 when
+        every way is pinned (TC's lease-blocked replacement, II-D3).
+        """
+        assoc = self.assoc
+        set_index = addr % self.num_sets
+        base = set_index * assoc
+        end = base + assoc
+        if self._free[set_index]:
+            return self._tags.index(-1, base, end)
+        lru = self._lru
+        best = -1
+        best_age = -1
+        if evictable is None:
+            for slot in range(base, end):
+                age = lru[slot]
+                if best < 0 or age < best_age:
+                    best = slot
+                    best_age = age
+        else:
+            lines = self._lines
+            for slot in range(base, end):
+                if evictable(lines[slot]):
+                    age = lru[slot]
+                    if best < 0 or age < best_age:
+                        best = slot
+                        best_age = age
+        return best
+
     def victim_for(
         self,
         addr: int,
         evictable: Optional[Callable[[CacheLine], bool]] = None,
     ) -> Optional[CacheLine]:
-        """Choose the line that would be (re)used to hold ``addr``.
-
-        Preference order: an invalid way, else the LRU way among those
-        for which ``evictable`` returns True.  Returns None when every
-        way is pinned (TC's lease-blocked replacement, Section II-D3).
-        """
-        cache_set = self._set_of(addr)
-        for line in cache_set:
-            if not line.valid:
-                return line
-        candidates = [
-            line for line in cache_set
-            if evictable is None or evictable(line)
-        ]
-        if not candidates:
-            return None
-        return min(candidates, key=lambda line: line.lru)
+        """Line object view of :meth:`_victim_slot` (None when pinned)."""
+        slot = self._victim_slot(addr, evictable)
+        return None if slot < 0 else self._lines[slot]
 
     def allocate(
         self,
@@ -158,15 +189,22 @@ class CacheArray:
         its timestamps into ``mem_ts``), else None.  When no victim is
         evictable, returns ``(None, None)`` and the caller must retry.
         """
-        existing = self.lookup(addr)
-        if existing is not None:
-            return existing, None
-        victim = self.victim_for(addr, evictable)
-        if victim is None:
+        slot = self._where.get(addr)
+        if slot is not None:
+            self._tick += 1
+            self._lru[slot] = self._tick
+            return self._lines[slot], None
+        slot = self._victim_slot(addr, evictable)
+        if slot < 0:
             return None, None
+        victim = self._lines[slot]
         evicted: Optional[CacheLine] = None
-        if victim.valid:
-            evicted = CacheLine()
+        if not victim.valid:
+            self._free[addr % self.num_sets] -= 1
+        else:
+            # detached snapshot; __new__ skips __init__'s field zeroing
+            # since every slot is assigned here
+            evicted = CacheLine.__new__(CacheLine)
             evicted.addr = victim.addr
             evicted.valid = True
             evicted.version = victim.version
@@ -174,27 +212,40 @@ class CacheArray:
             evicted.wts = victim.wts
             evicted.rts = victim.rts
             evicted.expiry = victim.expiry
+            evicted.pending_stores = victim.pending_stores
             evicted.epoch = victim.epoch
+            evicted.renewals = victim.renewals
+            del self._where[victim.addr]
         victim.reset()
         victim.addr = addr
         victim.valid = True
-        self._touch(victim)
+        self._tags[slot] = addr
+        self._where[addr] = slot
+        self._tick += 1
+        self._lru[slot] = self._tick
         return victim, evicted
 
     def invalidate(self, addr: int) -> bool:
         """Drop ``addr`` if present.  Returns True when a line was dropped."""
-        line = self.lookup(addr, touch=False)
-        if line is None:
+        slot = self._where.pop(addr, None)
+        if slot is None:
             return False
-        line.reset()
+        self._tags[slot] = -1
+        self._free[addr % self.num_sets] += 1
+        self._lines[slot].reset()
         return True
 
     def flush(self) -> int:
         """Invalidate every line; returns the number dropped."""
         count = 0
-        for cache_set in self._sets:
-            for line in cache_set:
-                if line.valid:
-                    line.reset()
-                    count += 1
+        tags = self._tags
+        lines = self._lines
+        for slot, tag in enumerate(tags):
+            if tag != -1:
+                tags[slot] = -1
+                lines[slot].reset()
+                count += 1
+        self._where.clear()
+        # in place: controllers may hold a view of the free-way counts
+        self._free[:] = [self.assoc] * self.num_sets
         return count

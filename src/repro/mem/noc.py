@@ -103,9 +103,16 @@ class Network:
 
         # Engine.post, inlined: every message crosses this line, and
         # arrival >= now by construction, so the fast path applies.
+        # Mirrors the engine's bucket/heap split: in-window arrivals
+        # are a plain list append.
         seq = engine._seq
         engine._seq = seq + 1
-        heappush(engine._heap, [arrival, seq, deliver, args])
+        event = [arrival, seq, deliver, args]
+        if arrival < engine._limit:
+            engine._buckets[arrival & engine._mask].append(event)
+        else:
+            heappush(engine._heap, event)
+            engine.heap_deferred += 1
         return arrival
 
     @property
@@ -219,7 +226,12 @@ class MeshNetwork:
         # Engine.post, inlined (see Network.send)
         seq = engine._seq
         engine._seq = seq + 1
-        heappush(engine._heap, [arrival, seq, deliver, args])
+        event = [arrival, seq, deliver, args]
+        if arrival < engine._limit:
+            engine._buckets[arrival & engine._mask].append(event)
+        else:
+            heappush(engine._heap, event)
+            engine.heap_deferred += 1
         return arrival
 
     @property

@@ -96,6 +96,15 @@ class Observability:
             metrics.bind(machine.stats, tracer=tracer)
             engine = machine.engine
             metrics.add_gauge("engine_pending", engine.pending)
+            # hot-loop counters (see stats.names.ENGINE_COUNTERS):
+            # sampled as gauges because they are cumulative engine
+            # state, not RunStats counters
+            metrics.add_gauge("engine_heap_deferred",
+                              lambda: engine.heap_deferred)
+            metrics.add_gauge("engine_heap_migrated",
+                              lambda: engine.heap_migrated)
+            metrics.add_gauge("engine_stale_reclaimed",
+                              lambda: engine.stale_reclaimed)
             metrics.add_gauge(
                 "l1_mshr_occupancy",
                 lambda: sum(len(l1.mshr) for l1 in machine.l1s))

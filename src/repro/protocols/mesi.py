@@ -191,15 +191,15 @@ class MESIL1Controller(L1ControllerBase):
     # -- SM interface ------------------------------------------------------------
     def load(self, warp: "Warp", addr: int,
              on_done: Callable[[], None]) -> bool:
-        self.stats.add("l1_access")
+        self._counters["l1_access"] += 1
         line = self.cache.lookup(addr)
         if line is not None and line.expiry != _INVALID:
-            self.stats.add("l1_hit")
+            self._counters["l1_hit"] += 1
             self._record_load(warp, addr, line.version, self.engine.now,
                               hit=True)
             self._complete(on_done, self.config.l1_latency)
             return True
-        self.stats.add("l1_miss")
+        self._counters["l1_miss"] += 1
         waiter = LoadWaiter(warp, on_done, self.engine.now)
         if addr in self._m_requested:
             # merge into the outstanding write miss; the ownership
@@ -213,7 +213,7 @@ class MESIL1Controller(L1ControllerBase):
             return True
         if entry is None:
             if self.mshr.full:
-                self.stats.add("l1_mshr_stall")
+                self._counters["l1_mshr_stall"] += 1
                 return False
             entry = self.mshr.allocate(addr)
         entry.waiters.append(waiter)
@@ -223,13 +223,13 @@ class MESIL1Controller(L1ControllerBase):
 
     def store(self, warp: "Warp", addr: int,
               on_done: Callable[[], None]) -> bool:
-        self.stats.add("l1_access")
-        self.stats.add("l1_store")
+        self._counters["l1_access"] += 1
+        self._counters["l1_store"] += 1
         version = self.machine.versions.new_version(addr)
         line = self.cache.lookup(addr)
         if line is not None and line.expiry == _MODIFIED:
             # write hit in M: no coherence traffic at all
-            self.stats.add("l1_store_hit_m")
+            self._counters["l1_store_hit_m"] += 1
             line.version = version
             line.dirty = True
             self.machine.versions.record_wts(addr, version,
@@ -248,8 +248,8 @@ class MESIL1Controller(L1ControllerBase):
 
     def atomic(self, warp: "Warp", addr: int,
                on_done: Callable[[], None]) -> bool:
-        self.stats.add("l1_access")
-        self.stats.add("l1_atomic")
+        self._counters["l1_access"] += 1
+        self._counters["l1_atomic"] += 1
         version = self.machine.versions.new_version(addr)
         # atomics are performed at the directory; drop the local copy
         self._invalidate_local(addr)
@@ -318,13 +318,13 @@ class MESIL1Controller(L1ControllerBase):
         line = self.cache.lookup(msg.addr, touch=False)
         if line is None or line.expiry == _INVALID:
             # silently-evicted sharer: harmless over-invalidation
-            self.stats.add("l1_stale_invalidations")
+            self._counters["l1_stale_invalidations"] += 1
             self._send(InvAck(msg.addr, self.sm_id))
             return
         had_data = line.expiry == _MODIFIED and line.dirty
         version = line.version
         self.cache.invalidate(msg.addr)
-        self.stats.add("l1_invalidations_received")
+        self._counters["l1_invalidations_received"] += 1
         self._send(InvAck(msg.addr, self.sm_id, version, had_data))
 
     def _on_atomic_ack(self, msg: AtmAckD) -> None:
@@ -414,6 +414,11 @@ class MESIL2Bank(L2BankBase):
         # acks still owed to fire-and-forget eviction recalls; they
         # must not be mistaken for a live transaction's acks
         self._stray_acks: Dict[int, int] = {}
+        # prebound eviction predicate (no closure per fill attempt)
+        self._dir_free = self._dir_line_idle
+
+    def _dir_line_idle(self, line: CacheLine) -> bool:
+        return not self._entry_busy(line.addr)
 
     def _entry(self, addr: int) -> _DirEntry:
         entry = self._dir.get(addr)
@@ -433,13 +438,13 @@ class MESIL2Bank(L2BankBase):
         entry = self._entry(msg.addr)
         if entry.busy:
             entry.parked.append(msg)
-            self.stats.add("dir_blocked_requests")
+            self._counters["dir_blocked_requests"] += 1
             return
         line = self.cache.lookup(msg.addr)
         if line is None:
             self._miss(msg)
             return
-        self.stats.add("l2_hit")
+        self._counters["l2_hit"] += 1
         if isinstance(msg, GetS):
             self._gets(msg, entry, line)
         elif isinstance(msg, GetM):
@@ -466,7 +471,7 @@ class MESIL2Bank(L2BankBase):
             targets.add(entry.owner)
         targets.discard(msg.sm)
         if targets:
-            self.stats.add("dir_invalidations", len(targets))
+            self._counters["dir_invalidations"] += len(targets)
             if self.trace is not None:
                 self.trace.instant(self.engine.now, self.track,
                                    "invalidate",
@@ -493,7 +498,7 @@ class MESIL2Bank(L2BankBase):
         self._unpark(entry)
 
     def _recall_owner(self, entry: _DirEntry, msg: Message) -> None:
-        self.stats.add("dir_recalls")
+        self._counters["dir_recalls"] += 1
         if self.trace is not None:
             self.trace.instant(self.engine.now, self.track, "recall",
                                {"addr": msg.addr,
@@ -576,7 +581,7 @@ class MESIL2Bank(L2BankBase):
             # Inv ack carries the data back before the RMW executes)
             targets.add(entry.owner)
         if targets:
-            self.stats.add("dir_invalidations", len(targets))
+            self._counters["dir_invalidations"] += len(targets)
             entry.pending_acks = len(targets)
             entry.grant = msg
             for sm in targets:
@@ -586,7 +591,7 @@ class MESIL2Bank(L2BankBase):
 
     def _perform_atomic(self, msg: MemAtmD, entry: _DirEntry,
                         line: CacheLine) -> None:
-        self.stats.add("l2_atomics")
+        self._counters["l2_atomics"] += 1
         old_version = line.version
         line.version = msg.version
         line.dirty = True
@@ -604,8 +609,7 @@ class MESIL2Bank(L2BankBase):
 
     # -- fills / directory eviction ------------------------------------------------
     def _install_fill(self, addr: int) -> Optional[CacheLine]:
-        line, evicted = self.cache.allocate(
-            addr, evictable=lambda l: not self._entry_busy(l.addr))
+        line, evicted = self.cache.allocate(addr, self._dir_free)
         if line is None:
             return None
         if evicted is not None:
@@ -621,14 +625,14 @@ class MESIL2Bank(L2BankBase):
     def _evict_directory_entry(self, evicted: CacheLine) -> None:
         """Recall every cached copy before dropping the entry (§II-C's
         recall traffic); the stale-sharer acks are fire-and-forget."""
-        self.stats.add("l2_evictions")
+        self._counters["l2_evictions"] += 1
         entry = self._dir.pop(evicted.addr, None)
         if entry is not None:
             targets = set(entry.sharers)
             if entry.owner is not None:
                 targets.add(entry.owner)
             if targets:
-                self.stats.add("dir_recall_invalidations", len(targets))
+                self._counters["dir_recall_invalidations"] += len(targets)
                 self._stray_acks[evicted.addr] = (
                     self._stray_acks.get(evicted.addr, 0) + len(targets))
                 for sm in targets:

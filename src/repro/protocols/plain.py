@@ -381,7 +381,7 @@ class PlainL2Bank(L2BankBase):
         if line is None:  # pragma: no cover - nothing pins plain lines
             return None
         if evicted is not None:
-            self.stats.add("l2_evictions")
+            self._counters["l2_evictions"] += 1
             self._writeback(evicted)
         line.version = self._memory_version(addr)
         line.dirty = False

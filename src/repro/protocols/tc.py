@@ -22,6 +22,7 @@ remove are modelled faithfully:
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import TYPE_CHECKING, Callable, Deque, Dict, Optional
 
 from repro.config import CombiningPolicy, Consistency
@@ -243,7 +244,7 @@ class TCL1Controller(L1ControllerBase):
             # current when the L2 served it, so the waiting loads may
             # still consume it, but the line cannot be cached — the
             # next access will miss again (the cost of a short lease)
-            self.stats.add("l1_dead_on_arrival")
+            self._counters["l1_dead_on_arrival"] += 1
             if self.trace is not None:
                 self.trace.instant(self.engine.now, self.track,
                                    "dead_on_arrival",
@@ -356,7 +357,9 @@ class TCL2Bank(L2BankBase):
     immediately and the ack carries ``max(now, expiry)`` as the GWCT.
     """
 
-    __slots__ = ("strong", "_blocked", "_handlers", "_tc_lease")
+    __slots__ = ("strong", "_blocked", "_handlers", "_tc_lease",
+                 "_lease_gate", "_lease_free", "_set_lines", "_free_ways",
+                 "_expiry", "_where_map", "_assoc")
 
     def __init__(self, bank_id: int, machine: "Machine") -> None:
         super().__init__(bank_id, machine)
@@ -369,6 +372,32 @@ class TCL2Bank(L2BankBase):
             TCAtm: self._atomic,
         }
         self._tc_lease = machine.config.tc_lease
+        # prebound eviction predicate for _install_fill: the inclusive
+        # L2 thrashes under small presets, so the fill path must not
+        # allocate a closure per attempt (_lease_gate carries `now`)
+        self._lease_gate = 0
+        self._lease_free = self._lease_expired_and_unblocked
+        # per-set line-object views for _retry_fill's raw probe
+        cache = self.cache
+        lines = cache._lines
+        assoc = cache.assoc
+        self._set_lines = [lines[s * assoc:(s + 1) * assoc]
+                           for s in range(cache.num_sets)]
+        self._free_ways = cache._free
+        # packed per-slot lease-expiry mirror: lets the retry probe
+        # reject a still-pinned set with one C-level min() instead of a
+        # way scan.  Expiry is written in exactly two places (_read's
+        # grant, _install_fill's reset), both of which update the
+        # mirror; flushed lines go stale in it, but a flushed set has
+        # free ways, which the probe checks first, and refilling the
+        # set rewrites every occupied slot on the way in.
+        self._expiry = [0] * (cache.num_sets * assoc)
+        self._where_map = cache._where
+        self._assoc = assoc
+
+    def _lease_expired_and_unblocked(self, line: CacheLine) -> bool:
+        return (line.expiry <= self._lease_gate
+                and line.addr not in self._blocked)
 
     # -- dispatch ------------------------------------------------------------
     def _process(self, msg: Message) -> None:
@@ -393,6 +422,7 @@ class TCL2Bank(L2BankBase):
         grant = self.engine.now + self._tc_lease
         if grant > line.expiry:
             line.expiry = grant
+            self._expiry[self._where_map[msg.addr]] = grant
         self._reply(msg.sm, TCFill(msg.addr, msg.sm, line.version, grant))
 
     def _write(self, msg: TCWr) -> None:
@@ -483,21 +513,68 @@ class TCL2Bank(L2BankBase):
                                      version=msg.version))
 
     # -- fill / inclusion -------------------------------------------------------
+    def _retry_fill(self, addr: int) -> None:
+        """Retry a lease-stalled fill with a raw can-succeed probe.
+
+        Under small presets the inclusive L2 thrashes and a fill can
+        stall for many lease periods; going through the full allocate
+        path on every retry dominates the run.  The probe answers
+        exactly the question ``_install_fill`` would: is there an
+        invalid way, or a way whose lease expired and whose address is
+        not write-blocked?  Only then is the full install path taken,
+        so counters and timing match the naive retry loop bit for bit.
+        """
+        set_index = addr % self.cache.num_sets
+        if not self._free_ways[set_index] \
+                and addr not in self._where_map:
+            now = self.engine.now
+            base = set_index * self._assoc
+            if min(self._expiry[base:base + self._assoc]) > now:
+                pinned = True      # every lease still running
+            else:
+                # some lease has expired; the way scan decides whether
+                # the expired line is also unblocked
+                blocked = self._blocked
+                pinned = True
+                for line in self._set_lines[set_index]:
+                    if line.expiry <= now and line.addr not in blocked:
+                        pinned = False
+                        break
+            if pinned:
+                # still pinned: book one stall interval and re-enter.
+                # engine.schedule, inlined — this is the hottest
+                # reschedule in TC runs (one event per interval per
+                # stalled fill; the grid cannot be skipped ahead
+                # because each retry's slot in its cycle's FIFO bucket
+                # is part of the bit-identical event order)
+                self._counters["l2_evict_stall"] += 1
+                engine = self.engine
+                time = now + self._retry_interval
+                seq = engine._seq
+                engine._seq = seq + 1
+                event = [time, seq, self._retry_fill, (addr,)]
+                if time < engine._limit:
+                    engine._buckets[time & engine._mask].append(event)
+                else:
+                    heappush(engine._heap, event)
+                    engine.heap_deferred += 1
+                return
+        line = self._install_fill(addr)
+        for msg in self.mshr.drain(addr):
+            self._process(msg)
+
     def _install_fill(self, addr: int) -> Optional[CacheLine]:
-        now = self.engine.now
-        line, evicted = self.cache.allocate(
-            addr,
-            evictable=lambda l: l.expiry <= now and l.addr not in
-            self._blocked,
-        )
+        self._lease_gate = self.engine.now
+        line, evicted = self.cache.allocate(addr, self._lease_free)
         if line is None:
             # every way lease-pinned: the delayed-eviction stall TC's
             # inclusive L2 suffers (Section II-D2)
             return None
         if evicted is not None:
-            self.stats.add("l2_evictions")
+            self._counters["l2_evictions"] += 1
             self._writeback(evicted)
         line.version = self._memory_version(addr)
         line.dirty = False
         line.expiry = 0
+        self._expiry[self._where_map[addr]] = 0
         return line

@@ -72,6 +72,23 @@ COUNTERS = frozenset({
     "kernel_ts_resets",
 })
 
+#: Engine hot-loop counters, reported by ``Engine.counters()``.  They
+#: describe the calendar-queue implementation (bucket vs heap traffic,
+#: stale-cancel reclamation), not the simulated machine, so they never
+#: enter ``RunStats.counters`` — the golden fixtures prove simulated
+#: outcomes are independent of them.  ``repro profile`` prints the
+#: aggregate, and the observability layer samples them as live gauges.
+ENGINE_COUNTERS = frozenset({
+    "engine_events_scheduled",
+    "engine_events_fired",
+    "engine_bucket_direct",
+    "engine_heap_deferred",
+    "engine_heap_migrated",
+    "engine_cancelled",
+    "engine_stale_reclaimed",
+    "engine_compactions",
+})
+
 #: Latency distributions recorded via ``stats.hist.add``.
 HISTOGRAMS = frozenset({
     "load_latency",
@@ -86,7 +103,7 @@ DYNAMIC_PREFIXES = ("noc_bytes_",)
 
 def is_registered(name: str) -> bool:
     """Whether ``name`` is a known counter (fixed or dynamic family)."""
-    if name in COUNTERS:
+    if name in COUNTERS or name in ENGINE_COUNTERS:
         return True
     return any(name.startswith(prefix) and len(name) > len(prefix)
                for prefix in DYNAMIC_PREFIXES)
