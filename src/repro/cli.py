@@ -12,6 +12,10 @@ Subcommands::
     gtsc-repro serve --port 8642          # long-lived experiment service
     gtsc-repro submit BFS --port 8642     # run one point via the service
     gtsc-repro jobs --port 8642           # inspect the service queue
+    gtsc-repro jobs --metrics-text        # Prometheus text exposition
+    gtsc-repro db ingest                  # backfill DB from run cache
+    gtsc-repro db query --workload BFS    # list provenance-stamped runs
+    gtsc-repro db report -o report.html   # HTML report from queries
 
 (Installed as ``gtsc-repro``; also runnable as ``python -m repro.cli``.)
 """
@@ -35,6 +39,16 @@ EXPERIMENT_FNS = {e.experiment_id: e.fn for e in EXPECTATIONS}
 
 
 DEFAULT_CACHE_DIR = "results/.runcache"
+DEFAULT_DB_PATH = "results/repro.db"
+
+
+def _add_db_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--db", default=DEFAULT_DB_PATH, metavar="PATH",
+                        help="sqlite results database recording every "
+                             "finished run with provenance "
+                             f"(default: {DEFAULT_DB_PATH})")
+    parser.add_argument("--no-db", action="store_true",
+                        help="disable results-database recording")
 
 
 def _add_runner_args(parser: argparse.ArgumentParser) -> None:
@@ -54,6 +68,7 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
                              f"(default: {DEFAULT_CACHE_DIR})")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk run cache")
+    _add_db_args(parser)
     parser.add_argument("--progress", action="store_true",
                         help="print live heartbeat lines to stderr "
                              "while a batch simulates")
@@ -63,15 +78,18 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
     if args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
     cache_dir = None if args.no_cache else args.cache_dir
+    db = None if getattr(args, "no_db", False) \
+        else getattr(args, "db", None)
     progress = getattr(args, "progress", False)
     if args.jobs > 1:
         from repro.harness.parallel import ParallelRunner
         return ParallelRunner(jobs=args.jobs, preset=args.preset,
                               scale=args.scale, seed=args.seed,
-                              cache_dir=cache_dir, progress=progress)
+                              cache_dir=cache_dir, progress=progress,
+                              db=db)
     return ExperimentRunner(preset=args.preset, scale=args.scale,
                             seed=args.seed, cache_dir=cache_dir,
-                            progress=progress)
+                            progress=progress, db=db)
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -366,6 +384,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         retry_after=args.retry_after,
         cache_max_bytes=max_bytes,
+        db=None if args.no_db else args.db,
         timeout=args.job_timeout,
         max_attempts=args.max_attempts,
         lease_duration=args.lease_duration,
@@ -422,6 +441,9 @@ def cmd_jobs(args: argparse.Namespace) -> int:
 
     client = _client_of(args)
     try:
+        if args.metrics_text:
+            print(client.metrics(format="prometheus")["text"], end="")
+            return 0
         reply = client.jobs()
     except (ServeError, ServeUnavailable) as error:
         print(str(error), file=sys.stderr)
@@ -433,6 +455,12 @@ def cmd_jobs(args: argparse.Namespace) -> int:
     print("  ".join(f"{state}={counts[state]}"
                     for state in ("pending", "leased", "done",
                                   "failed")))
+    for name, summary in sorted(reply.get("latency", {}).items()):
+        print(f"{name}: n={summary['count']} "
+              f"mean={summary['mean_ms']:.1f}ms "
+              f"p50<={summary['p50_ms']}ms "
+              f"p95<={summary['p95_ms']}ms "
+              f"p99<={summary['p99_ms']}ms")
     for job in reply["jobs"]:
         spec = job["spec"]
         label = (f"{spec['workload']} {spec['protocol']}-"
@@ -440,6 +468,81 @@ def cmd_jobs(args: argparse.Namespace) -> int:
         extra = f" attempts={job['attempts']}" if job["attempts"] else ""
         error = f" error={job['error']}" if job["error"] else ""
         print(f"{job['id']}  {job['state']:8s} {label}{extra}{error}")
+    return 0
+
+
+def _open_db(args: argparse.Namespace):
+    """Open an existing results database for a read-side verb."""
+    import os
+
+    from repro.db.store import ResultsDB
+
+    if not os.path.exists(args.db):
+        raise SystemExit(
+            f"no results database at {args.db} — record runs with "
+            f"--db or backfill with 'gtsc-repro db ingest'")
+    return ResultsDB(args.db)
+
+
+def cmd_db_ingest(args: argparse.Namespace) -> int:
+    from repro.db.ingest import ingest_runcache
+    from repro.db.store import ResultsDB
+
+    db = ResultsDB(args.db)
+    outcome = ingest_runcache(db, args.cache_dir, source=args.source,
+                              skip_existing=not args.refresh)
+    print(f"ingested {outcome['ingested']}, "
+          f"skipped {outcome['skipped']} already present, "
+          f"{outcome['corrupt']} corrupt "
+          f"({args.cache_dir} -> {args.db}, "
+          f"{db.count()} run(s) total)")
+    return 0
+
+
+def cmd_db_query(args: argparse.Namespace) -> int:
+    import json
+
+    db = _open_db(args)
+    if args.summary:
+        print(json.dumps(db.summary(), indent=2, sort_keys=True))
+        return 0
+    rows = db.runs(workload=args.workload, protocol=args.protocol,
+                   consistency=args.consistency, commit=args.commit,
+                   preset=args.preset_filter, status=args.status,
+                   source=args.source, limit=args.limit)
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    if not rows:
+        print("no matching runs")
+        return 0
+    print(f"{'run key':14s} {'benchmark':9s} {'config':14s} "
+          f"{'preset':6s} {'cycles':>10s} {'source':12s} "
+          f"{'commit':10s} {'wall s':>8s}")
+    for row in rows:
+        config = (f"{row['protocol']}-{row['consistency']}"
+                  if row["protocol"] else "-")
+        wall = (f"{row['wall_time_s']:.2f}"
+                if row["wall_time_s"] is not None else "-")
+        print(f"{row['run_key'][:12]:14s} "
+              f"{(row['workload'] or '-'):9s} {config:14s} "
+              f"{(row['preset'] or '-'):6s} {row['cycles']:>10d} "
+              f"{(row['source'] or '-'):12s} "
+              f"{row['git_commit'][:8]:10s} {wall:>8s}")
+    print(f"\n{len(rows)} run(s) shown of {db.count()} in {args.db}")
+    return 0
+
+
+def cmd_db_report(args: argparse.Namespace) -> int:
+    from repro.db.report import render_report, write_report
+
+    db = _open_db(args)
+    if args.output == "-":
+        print(render_report(db, title=args.title, commit=args.commit))
+        return 0
+    path = write_report(db, args.output, title=args.title,
+                        commit=args.commit)
+    print(f"wrote {path} ({db.count()} run(s) from {args.db})")
     return 0
 
 
@@ -610,6 +713,7 @@ def make_parser() -> argparse.ArgumentParser:
                          metavar="S",
                          help="seconds a worker may hold a job before "
                               "it is requeued (default: 300)")
+    _add_db_args(p_serve)
     p_serve.add_argument("--retry-after", type=float, default=1.0,
                          metavar="S",
                          help="retry-after hint sent with busy/"
@@ -647,8 +751,80 @@ def make_parser() -> argparse.ArgumentParser:
         "jobs", help="list the service's job queue and state counts")
     p_jobs.add_argument("--json", action="store_true",
                         help="emit the raw reply")
+    p_jobs.add_argument("--metrics-text", action="store_true",
+                        help="print the service metrics in Prometheus "
+                             "text-exposition format instead")
     _add_client_args(p_jobs)
     p_jobs.set_defaults(fn=cmd_jobs)
+
+    p_db = sub.add_parser(
+        "db", help="query the provenance-stamped results database")
+    db_sub = p_db.add_subparsers(dest="db_command", required=True)
+
+    p_ingest = db_sub.add_parser(
+        "ingest", help="backfill the database from a run-cache "
+                       "directory")
+    p_ingest.add_argument("--db", default=DEFAULT_DB_PATH,
+                          metavar="PATH",
+                          help=f"database path "
+                               f"(default: {DEFAULT_DB_PATH})")
+    p_ingest.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                          metavar="DIR",
+                          help="run-cache directory to read "
+                               f"(default: {DEFAULT_CACHE_DIR})")
+    p_ingest.add_argument("--source", default="ingest",
+                          help="source tag stamped on backfilled rows "
+                               "(default: ingest)")
+    p_ingest.add_argument("--refresh", action="store_true",
+                          help="re-record keys already in the database "
+                               "(default: skip them)")
+    p_ingest.set_defaults(fn=cmd_db_ingest)
+
+    p_query = db_sub.add_parser(
+        "query", help="list recorded runs, newest first")
+    p_query.add_argument("--db", default=DEFAULT_DB_PATH,
+                         metavar="PATH",
+                         help=f"database path "
+                              f"(default: {DEFAULT_DB_PATH})")
+    p_query.add_argument("--workload", choices=ALL_NAMES)
+    p_query.add_argument("--protocol",
+                         choices=[p.value for p in Protocol])
+    p_query.add_argument("--consistency",
+                         choices=[c.value for c in Consistency])
+    p_query.add_argument("--commit", metavar="PREFIX",
+                         help="filter by git-commit prefix")
+    p_query.add_argument("--preset", dest="preset_filter",
+                         choices=["tiny", "small", "paper"])
+    p_query.add_argument("--status",
+                         help="filter by run status (e.g. done)")
+    p_query.add_argument("--source",
+                         help="filter by producer (runner, "
+                              "runner-pool, serve, ingest, ...)")
+    p_query.add_argument("--limit", type=int, default=50,
+                         help="max rows to list (default: 50)")
+    p_query.add_argument("--summary", action="store_true",
+                         help="print the fleet summary instead of "
+                              "rows")
+    p_query.add_argument("--json", action="store_true",
+                         help="emit rows as JSON")
+    p_query.set_defaults(fn=cmd_db_query)
+
+    p_dbrep = db_sub.add_parser(
+        "report", help="render the HTML report from database queries "
+                       "alone (no simulation)")
+    p_dbrep.add_argument("--db", default=DEFAULT_DB_PATH,
+                         metavar="PATH",
+                         help=f"database path "
+                              f"(default: {DEFAULT_DB_PATH})")
+    p_dbrep.add_argument("--output", default="results/report.html",
+                         help="output path, or '-' for stdout "
+                              "(default: results/report.html)")
+    p_dbrep.add_argument("--title", default="G-TSC results",
+                         help="report title")
+    p_dbrep.add_argument("--commit", metavar="PREFIX",
+                         help="restrict the report to one git-commit "
+                              "prefix")
+    p_dbrep.set_defaults(fn=cmd_db_report)
     return parser
 
 

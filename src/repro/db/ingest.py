@@ -1,0 +1,90 @@
+"""Backfill the results database from the on-disk run cache.
+
+Before the database existed, every finished run's ``RunStats`` landed
+as ``<run_key>.json`` under the cache directory (PR 1).  Those files
+*are* historical results — their filename is the run key, their body
+round-trips the exact statistics — so one command turns years of
+cached runs into queryable rows::
+
+    gtsc-repro db ingest --cache-dir results/.runcache
+
+A cache entry does not carry its request spec (the key is a one-way
+digest), so backfilled rows have ``spec = NULL`` and best-effort
+``protocol``/``consistency`` parsed from the stored config
+description.  Freshly-produced rows (runner, serve) always carry the
+full spec; ingestion is the bridge for runs that predate the DB.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import warnings
+from typing import Dict, Optional, Tuple
+
+from repro.db.store import ResultsDB
+from repro.stats.collector import RunStats
+
+#: sha256 digests are 64 hex chars; anything else is not a cache entry
+_KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+
+#: ``GPUConfig.describe()`` leads with "<protocol>/<consistency>"
+_DESC_RE = re.compile(
+    r"\b(gtsc|tc|mesi|noncoherent|disabled)/(sc|rc)\b")
+
+
+def parse_config_desc(desc: str) -> Tuple[str, str]:
+    """Best-effort (protocol, consistency) from a config description."""
+    match = _DESC_RE.search(desc)
+    if match is None:
+        return "", ""
+    return match.group(1), match.group(2)
+
+
+def ingest_runcache(db: ResultsDB, cache_dir: str,
+                    source: str = "ingest",
+                    skip_existing: bool = True) -> Dict[str, int]:
+    """Load every run-cache entry under ``cache_dir`` into ``db``.
+
+    Returns ``{"ingested": n, "skipped": n, "corrupt": n}``.  With
+    ``skip_existing`` (the default) keys already present in the
+    database are left untouched — their live rows carry more
+    provenance than a backfill could reconstruct.
+    """
+    ingested = skipped = corrupt = 0
+    try:
+        names = sorted(os.listdir(cache_dir))
+    except OSError as error:
+        raise FileNotFoundError(
+            f"run-cache directory {cache_dir!r}: {error}") from error
+    for name in names:
+        key, ext = os.path.splitext(name)
+        if ext != ".json" or not _KEY_RE.match(key):
+            continue
+        if skip_existing and db.get_run(key) is not None:
+            skipped += 1
+            continue
+        stats = _load_entry(os.path.join(cache_dir, name))
+        if stats is None:
+            corrupt += 1
+            continue
+        protocol, consistency = parse_config_desc(stats.config_desc)
+        db.record(key, stats, source=source,
+                  point={"protocol": protocol,
+                         "consistency": consistency})
+        ingested += 1
+    return {"ingested": ingested, "skipped": skipped,
+            "corrupt": corrupt}
+
+
+def _load_entry(path: str) -> Optional[RunStats]:
+    try:
+        with open(path) as handle:
+            return RunStats.from_dict(json.load(handle))
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        warnings.warn(
+            f"corrupt run-cache entry {path}: "
+            f"{type(error).__name__}: {error}; not ingested",
+            RuntimeWarning, stacklevel=2)
+        return None

@@ -1,0 +1,80 @@
+"""Provenance facts attached to every results-database row.
+
+A number without provenance is a number nobody can trust six weeks
+later: "which commit and which machine configuration produced this
+IPC figure?" must be answerable from the row itself.  Three facts are
+stamped on every run:
+
+* **git commit** — the working tree's HEAD at record time, resolved
+  once per process (experiments never mutate the tree mid-run, and a
+  subprocess per row would dominate tiny simulations).  Overridable
+  via ``REPRO_GIT_COMMIT`` for environments without a git checkout
+  (containers built from tarballs); ``unknown`` when neither exists.
+* **config hash** — a sha256 digest over *every* field of the
+  :class:`~repro.config.GPUConfig`, in canonical JSON.  Unlike the
+  run key it excludes the workload/scale/seed and the package
+  version, so rows produced by different releases of the simulator
+  from the same machine description still group together.
+* **host** — the machine name, so fleet-wide writes remain
+  attributable to a worker.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import socket
+import subprocess
+from functools import lru_cache
+
+from repro.config import GPUConfig
+from repro.harness.cache import _canonical
+
+
+@lru_cache(maxsize=1)
+def git_commit() -> str:
+    """The HEAD commit of the current working tree (cached).
+
+    Resolution order: ``REPRO_GIT_COMMIT`` env var, then
+    ``git rev-parse HEAD``, then the literal ``"unknown"`` — a results
+    row must never fail to record because provenance is unavailable.
+    """
+    override = os.environ.get("REPRO_GIT_COMMIT")
+    if override:
+        return override
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5.0,
+            cwd=os.path.dirname(os.path.abspath(__file__)))
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    commit = out.stdout.strip()
+    if out.returncode != 0 or not commit:
+        return "unknown"
+    return commit
+
+
+def host() -> str:
+    """The recording machine's name (best-effort)."""
+    try:
+        return socket.gethostname()
+    except OSError:  # pragma: no cover - exotic platforms
+        return "unknown"
+
+
+def config_hash(config: GPUConfig) -> str:
+    """sha256 over every config field, in canonical JSON.
+
+    Two configs hash equal iff every machine parameter matches; the
+    digest is independent of workload, scale, seed and the package
+    version (contrast :func:`repro.harness.cache.run_key`).
+    """
+    payload = {
+        f.name: _canonical(getattr(config, f.name))
+        for f in dataclasses.fields(config)
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

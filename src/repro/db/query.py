@@ -1,0 +1,190 @@
+"""Figure tables and sweep series as database queries.
+
+The harness experiment functions (``repro.harness.experiments``)
+*simulate* and then tabulate; everything here only *queries* — the
+paper-figure comparison tables come out of rows that some runner or
+serve worker already wrote, which is what makes a report on a
+thousand-point sweep take milliseconds instead of hours.
+
+When several rows exist for the same (workload, protocol,
+consistency) point — different commits, scales, or leases — the most
+recently updated row wins, mirroring how one reads a dashboard: "the
+latest measurement of this point".  Filter by ``commit=`` to pin a
+table to one revision.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.db.store import ResultsDB
+from repro.harness.tables import ExperimentResult, geomean
+
+#: the four bars of Figures 12-16, as (column title, protocol,
+#: consistency) — matching :meth:`ExperimentRunner.matrix`
+MATRIX_BARS = (
+    ("TC-SC", "tc", "sc"),
+    ("TC-RC", "tc", "rc"),
+    ("G-TSC-SC", "gtsc", "sc"),
+    ("G-TSC-RC", "gtsc", "rc"),
+)
+
+
+def latest_by_point(db: ResultsDB, commit: Optional[str] = None,
+                    status: str = "done") -> Dict[tuple, Dict]:
+    """The newest run row per (workload, protocol, consistency)."""
+    rows = db.runs(commit=commit, status=status)
+    latest: Dict[tuple, Dict] = {}
+    # db.runs() returns newest-first; keep the first row seen per point
+    for row in rows:
+        point = (row["workload"], row["protocol"], row["consistency"])
+        if point not in latest:
+            latest[point] = row
+    return latest
+
+
+def matrix_result(db: ResultsDB,
+                  workloads: Optional[Sequence[str]] = None,
+                  commit: Optional[str] = None) -> ExperimentResult:
+    """The Fig. 12-style protocol/consistency comparison, from rows.
+
+    Cycles per bar, normalised to the no-L1 baseline (protocol
+    ``disabled``) when a baseline row exists for the workload —
+    exactly the shape of the paper's Figure 12 — and raw cycles
+    otherwise (noted per row in the last column).
+    """
+    latest = latest_by_point(db, commit=commit)
+    known = sorted({point[0] for point in latest if point[0]})
+    if workloads is None:
+        workloads = known
+    result = ExperimentResult(
+        "db-matrix",
+        "Performance by protocol/consistency, from the results DB"
+        + (f" (commit {commit[:12]})" if commit else ""),
+        ["benchmark"] + [bar for bar, _, _ in MATRIX_BARS]
+        + ["normalised"],
+    )
+    per_bar: Dict[str, Dict[str, float]] = {
+        bar: {} for bar, _, _ in MATRIX_BARS}
+    for workload in workloads:
+        baseline = latest.get((workload, "disabled", "rc"))
+        row: List = [workload]
+        present = 0
+        for bar, protocol, consistency in MATRIX_BARS:
+            entry = latest.get((workload, protocol, consistency))
+            if entry is None:
+                row.append("-")
+                continue
+            present += 1
+            if baseline is not None:
+                value = baseline["cycles"] / entry["cycles"]
+                per_bar[bar][workload] = value
+                row.append(value)
+            else:
+                row.append(entry["cycles"])
+        row.append("baseline" if baseline is not None else "cycles")
+        if present:
+            result.rows.append(row)
+    normalised = [w for w in workloads
+                  if all(w in per_bar[bar] for bar, _, _ in MATRIX_BARS)]
+    if normalised:
+        result.summary = {
+            "G-TSC-RC over TC-RC (geomean)": geomean(
+                [per_bar["G-TSC-RC"][w] / per_bar["TC-RC"][w]
+                 for w in normalised]),
+            "G-TSC-SC over TC-RC (geomean)": geomean(
+                [per_bar["G-TSC-SC"][w] / per_bar["TC-RC"][w]
+                 for w in normalised]),
+            "G-TSC RC over SC (geomean)": geomean(
+                [per_bar["G-TSC-RC"][w] / per_bar["G-TSC-SC"][w]
+                 for w in normalised]),
+        }
+    result.notes = (f"{db.count()} run(s) in {db.path}; newest row "
+                    f"per point")
+    return result
+
+
+#: per-run metrics shown in the protocol-comparison table: name ->
+#: (how to get it, format).  Counter metrics read the stats table;
+#: derived ones divide two counters.
+COMPARISON_COLUMNS = (
+    "cycles", "l1_hit_rate", "noc_bytes", "stall_mem_cycles",
+    "dram_reads",
+)
+
+
+def comparison_rows(db: ResultsDB,
+                    commit: Optional[str] = None) -> List[Dict]:
+    """Key metrics per (workload, protocol, consistency) point."""
+    latest = latest_by_point(db, commit=commit)
+    out: List[Dict] = []
+    for point in sorted(latest):
+        workload, protocol, consistency = point
+        row = latest[point]
+        key = row["run_key"]
+        l1_access = db.counter(key, "l1_access") or 0
+        l1_hit = db.counter(key, "l1_hit") or 0
+        out.append({
+            "workload": workload or "(unknown)",
+            "config": f"{protocol}-{consistency}" if protocol else
+                      "(unknown)",
+            "run_key": key,
+            "cycles": row["cycles"],
+            "l1_hit_rate": (l1_hit / l1_access) if l1_access else 0.0,
+            "noc_bytes": db.counter(key, "noc_bytes") or 0,
+            "stall_mem_cycles":
+                db.counter(key, "stall_mem_cycles") or 0,
+            "dram_reads": db.counter(key, "dram_reads") or 0,
+        })
+    return out
+
+
+def sweep_result(db: ResultsDB, parameter: str,
+                 protocol: str = "gtsc", consistency: str = "rc",
+                 metric: str = "cycles",
+                 commit: Optional[str] = None) -> ExperimentResult:
+    """A parameter-sweep table recovered from recorded spec overrides.
+
+    Groups rows whose spec carries an override for ``parameter`` (the
+    swept axis) by workload; the metric per swept value comes straight
+    from the recorded statistics — no re-simulation.
+    """
+    rows = db.runs(protocol=protocol, consistency=consistency,
+                   commit=commit, status="done")
+    by_value: Dict[str, Dict[object, Dict]] = {}
+    values: set = set()
+    for row in rows:
+        if not row["spec"]:
+            continue
+        spec = json.loads(row["spec"])
+        overrides = spec.get("overrides", {})
+        if parameter not in overrides:
+            continue
+        value = overrides[parameter]
+        workload = row["workload"]
+        slot = by_value.setdefault(workload, {})
+        # newest-first ordering: first row per (workload, value) wins
+        if value not in slot:
+            slot[value] = row
+            values.add(value)
+    ordered = sorted(values)
+    result = ExperimentResult(
+        "db-sweep",
+        f"{metric} vs {parameter} ({protocol}-{consistency}), "
+        f"from the results DB",
+        ["benchmark"] + [f"{parameter}={v}" for v in ordered],
+    )
+    for workload in sorted(by_value):
+        out_row: List = [workload]
+        for value in ordered:
+            entry = by_value[workload].get(value)
+            if entry is None:
+                out_row.append("-")
+            elif metric == "cycles":
+                out_row.append(entry["cycles"])
+            else:
+                out_row.append(
+                    db.counter(entry["run_key"], metric) or 0)
+        result.rows.append(out_row)
+    return result

@@ -32,6 +32,7 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from repro.config import Consistency, Protocol
 from repro.gpu.gpu import GPU
+from repro.harness.progress import RateEstimator
 from repro.harness.runner import ExperimentRunner, Point
 from repro.stats.collector import RunStats
 from repro.workloads import build_workload
@@ -118,7 +119,8 @@ class ParallelRunner(ExperimentRunner):
     def __init__(self, jobs: Optional[int] = None, preset: str = "small",
                  scale: float = 0.5, seed: int = 2018,
                  cache_dir: Optional[str] = None,
-                 progress: bool = False, **config_overrides) -> None:
+                 progress: bool = False, db=None,
+                 **config_overrides) -> None:
         cores = os.cpu_count() or 1
         if jobs is None:
             # default to the machine: one worker per core, which on a
@@ -137,7 +139,7 @@ class ParallelRunner(ExperimentRunner):
             jobs = cores
         super().__init__(preset=preset, scale=scale, seed=seed,
                          cache_dir=cache_dir, progress=progress,
-                         **config_overrides)
+                         db=db, **config_overrides)
         self.jobs = jobs
 
     # ------------------------------------------------------------------
@@ -152,10 +154,12 @@ class ParallelRunner(ExperimentRunner):
                 workload, protocol, consistency, overrides = point
                 config = self.base_config(protocol, consistency,
                                           **dict(overrides))
-                stats = self.disk_cache.get(
-                    self._disk_key(workload, config))
+                digest = self._disk_key(workload, config)
+                stats = self.disk_cache.get(digest)
                 if stats is not None:
                     self._cache[point] = stats
+                    self._record_run(digest, stats, point, config,
+                                     source="runner-cache")
                     continue
             seen.add(point)
             missing.append(point)
@@ -183,6 +187,7 @@ class ParallelRunner(ExperimentRunner):
         self._heartbeat(f"simulating {total} point(s) over "
                         f"{self.jobs} worker process(es)")
         overrides_key = tuple(sorted(self.config_overrides.items()))
+        estimator = RateEstimator()
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             futures = [
                 pool.submit(_simulate_point, self.preset, self.scale,
@@ -196,13 +201,19 @@ class ParallelRunner(ExperimentRunner):
                 stats = RunStats.from_dict(future.result())
                 self.simulations_run += 1
                 self._cache[point] = stats
+                workload, protocol, consistency, overrides = point
+                config = self.base_config(protocol, consistency,
+                                          **dict(overrides))
+                digest = self._disk_key(workload, config)
                 if self.disk_cache is not None:
-                    workload, protocol, consistency, overrides = point
-                    config = self.base_config(protocol, consistency,
-                                              **dict(overrides))
-                    self.disk_cache.put(
-                        self._disk_key(workload, config), stats)
+                    self.disk_cache.put(digest, stats)
+                # per-point wall time stays in the worker process; the
+                # row still records which pool run produced it
+                self._record_run(digest, stats, point, config,
+                                 source="runner-pool")
+                estimator.tick()
                 self._heartbeat(
                     f"{index}/{total} {self._describe_point(point)} "
                     f"(cycles={stats.cycles}, "
-                    f"{time.monotonic() - started:.1f}s elapsed)")
+                    f"{time.monotonic() - started:.1f}s elapsed"
+                    f"{estimator.suffix(total - index)})")

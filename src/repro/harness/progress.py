@@ -1,0 +1,78 @@
+"""Sliding-window rate and ETA estimation for progress heartbeats.
+
+The ``[repro] k/n`` heartbeat lines (PR 2) tell you *where* a batch
+is; this module tells you *when it will finish*.  A
+:class:`RateEstimator` keeps the completion timestamps of the last
+``window`` points and derives the current rate from that window
+alone, so the estimate tracks the recent regime — a sweep whose early
+points are tiny and late points are huge converges to the late rate
+instead of averaging over history it has left behind.
+
+Shared by the sequential and parallel runners: both tick the
+estimator once per completed point and append its suffix to the
+heartbeat line.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Optional
+
+
+def format_duration(seconds: float) -> str:
+    """Compact human duration: ``42s``, ``3m08s``, ``2h05m``."""
+    seconds = max(0.0, seconds)
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class RateEstimator:
+    """Completions-per-second over a sliding window of ticks."""
+
+    def __init__(self, window: int = 16,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if window < 2:
+            raise ValueError("window must hold at least 2 ticks")
+        self._clock = clock
+        self._ticks: deque = deque(maxlen=window)
+        self._ticks.append(clock())  # the batch's start anchors rate
+
+    def tick(self) -> None:
+        """Record one completed unit of work."""
+        self._ticks.append(self._clock())
+
+    def rate(self) -> Optional[float]:
+        """Recent completions per second, or None before two ticks."""
+        if len(self._ticks) < 2:
+            return None
+        span = self._ticks[-1] - self._ticks[0]
+        if span <= 0:
+            return None
+        return (len(self._ticks) - 1) / span
+
+    def eta_seconds(self, remaining: int) -> Optional[float]:
+        """Projected seconds until ``remaining`` more units finish."""
+        rate = self.rate()
+        if rate is None or remaining < 0:
+            return None
+        return remaining / rate
+
+    def suffix(self, remaining: int) -> str:
+        """Heartbeat-line tail: ``", 1.4/s, eta 12s"`` (or empty).
+
+        Empty until the window can support an estimate, so heartbeat
+        consumers can append it unconditionally.
+        """
+        rate = self.rate()
+        if rate is None:
+            return ""
+        eta = format_duration(remaining / rate)
+        if rate >= 0.95:
+            return f", {rate:.1f}/s, eta {eta}"
+        return f", {1 / rate:.1f}s/point, eta {eta}"

@@ -19,11 +19,13 @@ from __future__ import annotations
 import os
 import sys
 import time
+import warnings
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.config import Consistency, GPUConfig, Protocol
 from repro.gpu.gpu import GPU
-from repro.harness.cache import RunCache, run_key
+from repro.harness.cache import RunCache, _canonical, run_key
+from repro.harness.progress import RateEstimator
 from repro.stats.collector import RunStats
 from repro.trace.compiled import CompiledKernel, compile_kernel
 from repro.workloads import build_workload
@@ -44,7 +46,8 @@ class ExperimentRunner:
 
     def __init__(self, preset: str = "small", scale: float = 0.5,
                  seed: int = 2018, cache_dir: Optional[str] = None,
-                 progress: bool = False, **config_overrides) -> None:
+                 progress: bool = False, db=None,
+                 **config_overrides) -> None:
         if preset not in ("small", "paper", "tiny"):
             raise ValueError(f"unknown preset {preset!r}")
         self.preset = preset
@@ -53,6 +56,13 @@ class ExperimentRunner:
         self.config_overrides = dict(config_overrides)
         self._cache: Dict[Point, RunStats] = {}
         self.disk_cache = RunCache(cache_dir) if cache_dir else None
+        # results database: a ResultsDB handle or a path to open one.
+        # Every point this runner resolves (fresh simulation or disk
+        # cache) is upserted with full spec + provenance.
+        if isinstance(db, str):
+            from repro.db.store import ResultsDB
+            db = ResultsDB(db)
+        self.results_db = db
         # compiled workload traces: generated (or read from the trace
         # cache under <cache_dir>/traces) once, shared by every config
         # that runs the same workload at this runner's scale and seed
@@ -123,16 +133,71 @@ class ExperimentRunner:
         if cached is not None:
             return cached
         config = self.base_config(protocol, consistency, **overrides)
+        digest = self._disk_key(workload, config)
         stats = None
+        wall_time = None
+        source = "runner-cache"
         if self.disk_cache is not None:
-            stats = self.disk_cache.get(self._disk_key(workload, config))
+            stats = self.disk_cache.get(digest)
         if stats is None:
+            started = time.perf_counter()
             stats = self._simulate(workload, config)
+            wall_time = time.perf_counter() - started
+            source = "runner"
             if self.disk_cache is not None:
-                self.disk_cache.put(self._disk_key(workload, config),
-                                    stats)
+                self.disk_cache.put(digest, stats)
         self._cache[key] = stats
+        self._record_run(digest, stats, key, config,
+                         wall_time_s=wall_time, source=source)
         return stats
+
+    # ------------------------------------------------------------------
+    # results database
+    # ------------------------------------------------------------------
+    def point_spec(self, point: Point) -> Dict:
+        """The canonical request spec one point denormalises to.
+
+        Matches the serve-protocol spec shape
+        (:func:`repro.serve.schema.make_spec`), so a row written by a
+        runner and a row written by a serve worker for the same run
+        key carry comparable specs.
+        """
+        workload, protocol, consistency, overrides = point
+        merged = dict(self.config_overrides)
+        merged.update(dict(overrides))
+        return {
+            "workload": workload,
+            "protocol": protocol.value,
+            "consistency": consistency.value,
+            "preset": self.preset,
+            "scale": float(self.scale),
+            "seed": self.seed,
+            "overrides": {k: _canonical(merged[k])
+                          for k in sorted(merged)},
+        }
+
+    def _record_run(self, digest: str, stats: RunStats, point: Point,
+                    config: GPUConfig,
+                    wall_time_s: Optional[float] = None,
+                    source: str = "runner") -> None:
+        """Upsert one resolved point into the results DB (if any).
+
+        Database trouble (read-only disk, concurrent schema upgrade)
+        warns and continues: persistence of provenance must never
+        fail the experiment that produced the result.
+        """
+        if self.results_db is None:
+            return
+        try:
+            self.results_db.record(
+                digest, stats, spec=self.point_spec(point),
+                config=config, source=source,
+                wall_time_s=wall_time_s)
+        except Exception as error:
+            warnings.warn(
+                f"results-db record failed for {digest[:12]}…: "
+                f"{type(error).__name__}: {error}",
+                RuntimeWarning, stacklevel=2)
 
     def prefetch(self, points: Iterable[Point]) -> None:
         """Warm the memo for a batch of points.
@@ -146,14 +211,17 @@ class ExperimentRunner:
         points = list(points)
         total = len(points)
         started = time.monotonic()
+        estimator = RateEstimator()
         for index, point in enumerate(points, start=1):
             workload, protocol, consistency, overrides = point
             before = self.simulations_run
             self.run(workload, protocol, consistency, **dict(overrides))
             tag = "ran" if self.simulations_run > before else "cached"
+            estimator.tick()
             self._heartbeat(
                 f"{index}/{total} {self._describe_point(point)} "
-                f"({tag}, {time.monotonic() - started:.1f}s elapsed)")
+                f"({tag}, {time.monotonic() - started:.1f}s elapsed"
+                f"{estimator.suffix(total - index)})")
 
     # -- the runs every figure needs -------------------------------------------
     def baseline(self, workload: str) -> RunStats:

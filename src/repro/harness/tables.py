@@ -73,6 +73,41 @@ def format_result(result: ExperimentResult) -> str:
     return "\n".join(out)
 
 
+def render_html_table(result: ExperimentResult) -> str:
+    """Render a result as an HTML table (used by the DB report).
+
+    Numeric cells are right-aligned via a class the report's styles
+    pick up; the summary aggregates and notes become a footer row so
+    one element carries everything ``format_result`` prints.
+    """
+    import html
+
+    def cell(value: Cell, tag: str = "td") -> str:
+        css = ' class="num"' if isinstance(value, (int, float)) else ""
+        return f"<{tag}{css}>{html.escape(_fmt_cell(value))}</{tag}>"
+
+    lines = [f'<table class="result" id="{html.escape(result.experiment_id)}">',
+             f"<caption>{html.escape(result.title)}</caption>",
+             "<thead><tr>"
+             + "".join(cell(h, "th") for h in result.headers)
+             + "</tr></thead>", "<tbody>"]
+    for row in result.rows:
+        lines.append("<tr>" + "".join(cell(c) for c in row) + "</tr>")
+    lines.append("</tbody>")
+    footer = []
+    footer.extend(f"{key}: {value:.3f}"
+                  for key, value in result.summary.items())
+    if result.notes:
+        footer.append(result.notes)
+    if footer:
+        lines.append(
+            f'<tfoot><tr><td colspan="{len(result.headers)}">'
+            + "<br>".join(html.escape(f) for f in footer)
+            + "</td></tr></tfoot>")
+    lines.append("</table>")
+    return "\n".join(lines)
+
+
 def geomean(values: Sequence[float]) -> float:
     """Geometric mean (the paper's cross-benchmark aggregate)."""
     if not values:

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.obs.audit import AuditRecord, ProtocolAuditLog, replay_audit
 from repro.obs.metrics import DEFAULT_COUNTERS, MetricsRegistry
+from repro.obs.prom import render_prometheus, split_snapshot
 from repro.obs.schema import validate_chrome_trace
 from repro.obs.tracer import Tracer
 
@@ -46,7 +47,9 @@ __all__ = [
     "Observability",
     "ProtocolAuditLog",
     "Tracer",
+    "render_prometheus",
     "replay_audit",
+    "split_snapshot",
     "validate_chrome_trace",
 ]
 

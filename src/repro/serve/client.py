@@ -140,8 +140,13 @@ class ServeClient:
     def healthz(self) -> Dict:
         return self.request({"op": "healthz"})
 
-    def metrics(self) -> Dict:
-        return self.request({"op": "metrics"})
+    def metrics(self, format: Optional[str] = None) -> Dict:
+        """Metrics snapshot; ``format="prometheus"`` returns the
+        text-exposition document under the reply's ``text`` key."""
+        payload: Dict = {"op": "metrics"}
+        if format is not None:
+            payload["format"] = format
+        return self.request(payload)
 
     def jobs(self) -> Dict:
         return self.request({"op": "jobs"})

@@ -27,6 +27,7 @@ worker threads; the asyncio server awaits them via
 from __future__ import annotations
 
 import threading
+import warnings
 from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Dict, Optional
@@ -69,7 +70,7 @@ class Scheduler:
                  jobs: int = 1, queue_limit: int = 64,
                  retry_after: float = 1.0,
                  cache_max_bytes: Optional[int] = None,
-                 **pool_options) -> None:
+                 db=None, **pool_options) -> None:
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
         self.store = store
@@ -77,6 +78,12 @@ class Scheduler:
         self.queue_limit = queue_limit
         self.retry_after = retry_after
         self.cache_max_bytes = cache_max_bytes
+        # results database: every job a worker completes lands as a
+        # provenance-stamped row (a path opens a ResultsDB here)
+        if isinstance(db, str):
+            from repro.db.store import ResultsDB
+            db = ResultsDB(db)
+        self.db = db
         self.pool = WorkerPool(store, jobs=jobs,
                                on_result=self._on_result,
                                on_failure=self._on_failure,
@@ -156,6 +163,17 @@ class Scheduler:
             self.cache.put(job.key, stats)
             if self.cache_max_bytes is not None:
                 self.cache.prune(self.cache_max_bytes)
+        if self.db is not None:
+            try:
+                self.db.record(
+                    job.key, stats, spec=job.spec, source="serve",
+                    wall_time_s=getattr(job, "wall_time_s", None),
+                    config=schema.spec_config(job.spec))
+            except Exception as error:
+                warnings.warn(
+                    f"results-db record failed for {job.key[:12]}…: "
+                    f"{type(error).__name__}: {error}",
+                    RuntimeWarning, stacklevel=2)
         with self._lock:
             future = self._futures.pop(job.key, None)
         if future is not None:

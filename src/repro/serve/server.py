@@ -192,7 +192,7 @@ class ServeServer:
         if op == "healthz":
             return self._healthz()
         if op == "metrics":
-            return self._metrics()
+            return self._metrics(request)
         if op == "jobs":
             return self._jobs()
         if op == "status":
@@ -264,18 +264,47 @@ class ServeServer:
                 "workers": self.scheduler.pool.jobs,
                 "jobs": counts}
 
-    def _metrics(self) -> Dict:
+    def _metrics(self, request: Optional[Dict] = None) -> Dict:
         self._tick += 1
         self.metrics.on_cycle(self._tick)
+        fmt = (request or {}).get("format", "json")
+        if fmt == "prometheus":
+            return {"v": schema.PROTOCOL_VERSION, "ok": True,
+                    "format": "prometheus",
+                    "text": self._prometheus_text()}
+        if fmt != "json":
+            return self._error("bad-request",
+                               f"unknown metrics format {fmt!r} "
+                               f"(known: json, prometheus)")
         return {"v": schema.PROTOCOL_VERSION, "ok": True,
                 "snapshot": self.scheduler.snapshot(),
+                "latency": self.scheduler.pool.latency_summary(),
                 "timeseries": self.metrics.to_dict()}
+
+    def _prometheus_text(self) -> str:
+        """Everything ``metrics`` exports, as one scrapeable document."""
+        from repro.obs.prom import render_prometheus, split_snapshot
+
+        split = split_snapshot(self.scheduler.snapshot())
+        counters = dict(split["counters"])
+        counters.update(self.collector.snapshot())
+        gauges = dict(split["gauges"])
+        gauges["queue_depth"] = self.scheduler.store.active_count()
+        gauges["inflight"] = self.scheduler.inflight()
+        gauges["draining"] = int(self.draining)
+        gauges["uptime_seconds"] = round(
+            time.monotonic() - self._started, 3)
+        gauges["workers"] = self.scheduler.pool.jobs
+        return render_prometheus(
+            counters=counters, gauges=gauges,
+            summaries=self.scheduler.pool.latency_summary())
 
     def _jobs(self) -> Dict:
         jobs = [job.to_dict() for job in self.scheduler.store.jobs()]
         return {"v": schema.PROTOCOL_VERSION, "ok": True,
                 "jobs": jobs,
-                "counts": self.scheduler.store.counts()}
+                "counts": self.scheduler.store.counts(),
+                "latency": self.scheduler.pool.latency_summary()}
 
     def _status(self, request: Dict) -> Dict:
         job = self.scheduler.store.get(str(request.get("job_id")))

@@ -42,6 +42,7 @@ from repro.config import Consistency, Protocol
 from repro.harness.parallel import _simulate_point
 from repro.serve.jobs import Job, JobStore
 from repro.stats.collector import RunStats
+from repro.stats.histogram import HistogramSet
 
 
 class JobTimeout(RuntimeError):
@@ -112,6 +113,10 @@ class WorkerPool:
         self.retried = 0
         self.failed = 0
         self.timeouts = 0
+        #: per-job latency distributions (milliseconds): how long a
+        #: job waited in the queue (``job_queue_wait_ms``) and how
+        #: long its simulation ran (``job_simulate_ms``)
+        self.latency = HistogramSet()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -170,15 +175,44 @@ class WorkerPool:
             self._run_one(job)
 
     def _run_one(self, job: Job) -> None:
+        queue_wait = max(0.0, self._clock() - job.submitted_at)
+        started = time.perf_counter()
         try:
             stats = self._call_with_timeout(job.spec)
         except Exception as error:
             self._handle_failure(job, error)
             return
+        wall_time = time.perf_counter() - started
         self.executed += 1
+        with self._lock:
+            self.latency.add("job_queue_wait_ms",
+                             int(round(queue_wait * 1000)))
+            self.latency.add("job_simulate_ms",
+                             int(round(wall_time * 1000)))
         self.store.complete(job.id)
+        # stamp the measured wall time onto the job so downstream
+        # consumers (scheduler -> results DB) get it without widening
+        # the on_result(job, stats) callback signature
+        job.wall_time_s = wall_time
         if self.on_result is not None:
             self.on_result(job, stats)
+
+    def latency_summary(self) -> Dict:
+        """Count/mean/p50/p95/p99/max (ms) per latency histogram."""
+        out: Dict[str, Dict] = {}
+        with self._lock:
+            for name in self.latency.names():
+                histogram = self.latency.get(name)
+                out[name] = {
+                    "count": histogram.count,
+                    "sum_ms": histogram.total,
+                    "mean_ms": round(histogram.mean, 3),
+                    "p50_ms": histogram.percentile(0.50),
+                    "p95_ms": histogram.percentile(0.95),
+                    "p99_ms": histogram.percentile(0.99),
+                    "max_ms": histogram.max_value,
+                }
+        return out
 
     def _call_with_timeout(self, spec: Dict) -> RunStats:
         if self.timeout is None:

@@ -1,0 +1,413 @@
+"""Tests for the provenance-stamped results database.
+
+The database is only trustworthy if (a) the RunStats -> rows ->
+RunStats round trip is *exact* for arbitrary stats (ints stay ints,
+histograms keep their buckets, time-series reassemble), (b) many
+concurrent writers cannot corrupt it and the last write wins whole,
+(c) historical run-cache entries backfill faithfully, and (d) a row
+written by the batch runner and one written by a serve worker for the
+same run key are indistinguishable at the stats level.
+"""
+
+import json
+import multiprocessing
+import os
+import sqlite3
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import Consistency, Protocol
+from repro.db.ingest import ingest_runcache, parse_config_desc
+from repro.db.provenance import config_hash, git_commit
+from repro.db.query import comparison_rows, latest_by_point, \
+    matrix_result
+from repro.db.report import render_report, write_report
+from repro.db.store import ResultsDB
+from repro.harness.runner import ExperimentRunner
+from repro.stats.collector import RunStats
+from repro.stats.histogram import Histogram
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+
+
+def make_stats(counters=None, energy=None, histograms=None,
+               timeseries=None, cycles=1234,
+               desc="gtsc/rc 2SM x 2w") -> RunStats:
+    return RunStats(config_desc=desc, cycles=cycles,
+                    counters=dict(counters or {"l1_hit": 7}),
+                    energy=dict(energy or {}),
+                    histograms=dict(histograms or {}),
+                    timeseries=dict(timeseries or {}))
+
+
+# ---------------------------------------------------------------------------
+# exact round trip (property-based)
+# ---------------------------------------------------------------------------
+
+_names = st.text("abcdefgh_", min_size=1, max_size=10)
+
+
+def _histogram(draw_values):
+    def build(item):
+        name, values = item
+        histogram = Histogram(name)
+        for value in values:
+            histogram.add(value)
+        return histogram
+    return st.tuples(_names, draw_values).map(build)
+
+
+_stats_strategy = st.builds(
+    make_stats,
+    counters=st.dictionaries(
+        _names, st.integers(min_value=0, max_value=2**62),
+        max_size=6),
+    energy=st.dictionaries(
+        _names,
+        st.floats(min_value=0, max_value=1e12, allow_nan=False),
+        max_size=4),
+    histograms=st.lists(
+        _histogram(st.lists(st.integers(0, 10_000), min_size=1,
+                            max_size=8)),
+        max_size=3, unique_by=lambda h: h.name,
+    ).map(lambda hs: {h.name: h for h in hs}),
+    timeseries=st.one_of(
+        st.just({}),
+        st.builds(
+            lambda interval, samples: {
+                "interval": interval,
+                "columns": ["cycle", "ipc"],
+                "samples": [
+                    {"cycle": i * interval, "ipc": value}
+                    for i, value in enumerate(samples)
+                ],
+            },
+            st.integers(1, 1000),
+            st.lists(st.one_of(st.integers(0, 10**9),
+                               st.floats(0, 1e6, allow_nan=False)),
+                     min_size=1, max_size=5),
+        ),
+    ),
+    cycles=st.integers(min_value=0, max_value=2**62),
+    desc=st.text(max_size=30),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(stats=_stats_strategy)
+def test_round_trip_is_exact_for_arbitrary_stats(stats, tmp_path_factory):
+    db = ResultsDB(str(tmp_path_factory.mktemp("db") / "r.db"))
+    db.record(KEY_A, stats)
+    rebuilt = db.get_stats(KEY_A)
+    assert rebuilt == stats
+    # dataclass equality covers it, but the failure mode this guards
+    # against is type coercion — make it explicit
+    for name, value in stats.counters.items():
+        assert type(rebuilt.counters[name]) is type(value)
+
+
+def test_round_trip_preserves_real_simulation():
+    runner = ExperimentRunner(preset="tiny", scale=0.3, seed=7)
+    stats = runner.run("BFS", Protocol.GTSC, Consistency.RC)
+    db = ResultsDB(":memory:")
+    db.record(KEY_A, stats)
+    assert db.get_stats(KEY_A) == stats
+    assert db.get_stats(KEY_B) is None
+
+
+def test_record_is_last_write_wins(tmp_path):
+    db = ResultsDB(str(tmp_path / "r.db"))
+    db.record(KEY_A, make_stats(counters={"x": 1}), source="first")
+    db.record(KEY_A, make_stats(counters={"y": 2}), source="second")
+    assert db.count() == 1
+    run = db.get_run(KEY_A)
+    assert run["source"] == "second"
+    assert db.get_stats(KEY_A).counters == {"y": 2}
+
+
+def test_provenance_is_stamped_on_every_row(tmp_path):
+    from repro.config import GPUConfig
+
+    config = GPUConfig.tiny()
+    db = ResultsDB(str(tmp_path / "r.db"))
+    db.record(KEY_A, make_stats(), config=config,
+              wall_time_s=1.25, source="runner")
+    run = db.get_run(KEY_A)
+    assert run["git_commit"] == git_commit()
+    assert run["config_hash"] == config_hash(config)
+    assert run["host"]
+    assert run["repro_version"]
+    assert run["wall_time_s"] == 1.25
+    # same config -> same hash; different lease -> different hash
+    assert config_hash(GPUConfig.tiny()) == run["config_hash"]
+    assert config_hash(GPUConfig.tiny(lease=99)) != run["config_hash"]
+
+
+# ---------------------------------------------------------------------------
+# concurrent writers
+# ---------------------------------------------------------------------------
+
+def _hammer(path: str, worker: int, keys, writes: int) -> None:
+    db = ResultsDB(path)
+    for round_no in range(writes):
+        for key in keys:
+            db.record(key, make_stats(
+                counters={"worker": worker, "check": worker * 1000},
+                cycles=worker), source=f"w{worker}")
+
+
+def test_concurrent_writers_last_write_wins_no_corruption(tmp_path):
+    path = str(tmp_path / "r.db")
+    keys = [KEY_A, KEY_B]
+    workers = 4
+    procs = [
+        multiprocessing.Process(target=_hammer,
+                                args=(path, i, keys, 15))
+        for i in range(workers)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(120)
+        assert proc.exitcode == 0
+    db = ResultsDB(path)
+    assert db.count() == len(keys)
+    check = db._conn.execute("PRAGMA integrity_check").fetchone()[0]
+    assert check == "ok"
+    for key in keys:
+        stats = db.get_stats(key)
+        winner = stats.counters["worker"]
+        assert winner in range(workers)
+        # child rows and the runs row came from ONE transaction, not
+        # an interleaving of two writers
+        assert stats.counters["check"] == winner * 1000
+        assert stats.cycles == winner
+        assert db.get_run(key)["source"] == f"w{winner}"
+
+
+# ---------------------------------------------------------------------------
+# backfill from the run cache
+# ---------------------------------------------------------------------------
+
+def test_ingest_backfills_runcache_exactly(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    runner = ExperimentRunner(preset="tiny", scale=0.3, seed=7,
+                              cache_dir=cache_dir)
+    expected = runner.run("BFS", Protocol.GTSC, Consistency.RC)
+    runner.run("BFS", Protocol.TC, Consistency.SC)
+
+    db = ResultsDB(str(tmp_path / "r.db"))
+    outcome = ingest_runcache(db, cache_dir)
+    assert outcome == {"ingested": 2, "skipped": 0, "corrupt": 0}
+    assert db.count() == 2
+
+    gtsc = db.runs(protocol="gtsc", consistency="rc")
+    assert len(gtsc) == 1
+    assert db.get_stats(gtsc[0]["run_key"]) == expected
+    assert gtsc[0]["source"] == "ingest"
+
+    # second ingest is a no-op thanks to skip_existing
+    again = ingest_runcache(db, cache_dir)
+    assert again == {"ingested": 0, "skipped": 2, "corrupt": 0}
+
+
+def test_ingest_survives_corrupt_entries(tmp_path):
+    cache_dir = tmp_path / "cache"
+    runner = ExperimentRunner(preset="tiny", scale=0.3, seed=7,
+                              cache_dir=str(cache_dir))
+    runner.run("BFS", Protocol.GTSC, Consistency.RC)
+    victim = next(cache_dir.glob("*.json"))
+    victim.write_text("{ not json")
+    db = ResultsDB(str(tmp_path / "r.db"))
+    with pytest.warns(RuntimeWarning):
+        outcome = ingest_runcache(db, str(cache_dir))
+    assert outcome["corrupt"] == 1
+    assert db.count() == 0
+
+
+def test_parse_config_desc_recovers_protocol():
+    assert parse_config_desc("gtsc/rc 2SM x 2w, L1 0KB") == \
+        ("gtsc", "rc")
+    assert parse_config_desc("tc/sc 4SM") == ("tc", "sc")
+    assert parse_config_desc("nonsense") == ("", "")
+
+
+# ---------------------------------------------------------------------------
+# runner-written and serve-written rows agree (acceptance criterion)
+# ---------------------------------------------------------------------------
+
+def test_runner_and_serve_write_identical_stats_rows(tmp_path):
+    from repro.serve import schema
+    from repro.serve.jobs import JobStore
+    from repro.serve.scheduler import Scheduler
+
+    runner = ExperimentRunner(preset="tiny", scale=0.3, seed=7,
+                              db=str(tmp_path / "runner.db"))
+    runner.run("BFS", Protocol.GTSC, Consistency.RC)
+    db_runner = runner.results_db
+    row = db_runner.runs()[0]
+    key = row["run_key"]
+    spec = schema.validate_spec(json.loads(row["spec"]))
+    assert schema.spec_key(spec) == key
+
+    store = JobStore(str(tmp_path / "jobs.jsonl"))
+    scheduler = Scheduler(store, jobs=1,
+                          db=str(tmp_path / "serve.db"))
+    scheduler.start()
+    try:
+        scheduler.submit(spec).future.result(timeout=120)
+    finally:
+        scheduler.stop()
+    db_serve = scheduler.db
+
+    sql = ("SELECT kind, name, value, payload FROM stats "
+           "WHERE run_key = ? ORDER BY kind, name")
+    assert db_runner._conn.execute(sql, (key,)).fetchall() == \
+        db_serve._conn.execute(sql, (key,)).fetchall()
+    serve_row = db_serve.get_run(key)
+    assert serve_row["source"] == "serve"
+    assert serve_row["wall_time_s"] is not None
+    assert serve_row["config_hash"] == row["config_hash"]
+    assert db_serve.get_stats(key) == db_runner.get_stats(key)
+
+
+def test_db_failure_never_breaks_the_run(tmp_path):
+    runner = ExperimentRunner(preset="tiny", scale=0.3, seed=7,
+                              db=str(tmp_path / "ok.db"))
+    runner.results_db._conn.close()  # simulate a dead database
+    with pytest.warns(RuntimeWarning, match="results-db record"):
+        stats = runner.run("BFS", Protocol.GTSC, Consistency.RC)
+    assert stats.cycles > 0
+
+
+# ---------------------------------------------------------------------------
+# queries
+# ---------------------------------------------------------------------------
+
+def _seed_matrix(db: ResultsDB) -> None:
+    runner = ExperimentRunner(preset="tiny", scale=0.3, seed=7,
+                              db=db)
+    runner.matrix("BFS")
+    runner.baseline("BFS")
+
+
+def test_matrix_result_normalises_to_baseline(tmp_path):
+    db = ResultsDB(str(tmp_path / "r.db"))
+    _seed_matrix(db)
+    assert db.count() == 5
+    result = matrix_result(db)
+    assert [row[0] for row in result.rows] == ["BFS"]
+    assert result.headers == ["benchmark", "TC-SC", "TC-RC",
+                              "G-TSC-SC", "G-TSC-RC", "normalised"]
+    assert result.rows[0][-1] == "baseline"
+    values = result.rows[0][1:-1]
+    assert all(isinstance(v, float) and v > 0 for v in values)
+    assert result.summary  # the geomean lines the paper quotes
+    latest = latest_by_point(db)
+    assert ("BFS", "gtsc", "rc") in latest
+
+
+def test_comparison_rows_carry_key_metrics(tmp_path):
+    db = ResultsDB(str(tmp_path / "r.db"))
+    _seed_matrix(db)
+    rows = comparison_rows(db)
+    assert len(rows) == 5
+    for row in rows:
+        assert row["cycles"] > 0
+        assert 0.0 <= row["l1_hit_rate"] <= 1.0
+
+
+def test_report_renders_from_queries_alone(tmp_path):
+    db = ResultsDB(str(tmp_path / "r.db"))
+    _seed_matrix(db)
+    text = render_report(db, title="unit report")
+    assert "unit report" in text
+    assert "Fleet summary" in text
+    assert "G-TSC-RC" in text
+    assert "Provenance appendix" in text
+    assert git_commit()[:12] in text
+    path = write_report(db, str(tmp_path / "out" / "report.html"))
+    assert os.path.exists(path)
+
+
+def test_empty_database_report_still_renders(tmp_path):
+    db = ResultsDB(str(tmp_path / "r.db"))
+    text = render_report(db)
+    assert "No matrix points recorded yet" in text
+
+
+# ---------------------------------------------------------------------------
+# CLI verbs
+# ---------------------------------------------------------------------------
+
+def _cli(tmp_path, *argv):
+    env = dict(os.environ)
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env["PYTHONPATH"] = os.path.join(root, "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        cwd=str(tmp_path), env=env, capture_output=True, text=True,
+        timeout=600)
+
+
+def test_cli_db_query_and_report_smoke(tmp_path):
+    db = ResultsDB(str(tmp_path / "repro.db"))
+    _seed_matrix(db)
+    db.close()
+
+    proc = _cli(tmp_path, "db", "query", "--db", "repro.db")
+    assert proc.returncode == 0, proc.stderr
+    assert "gtsc-rc" in proc.stdout
+    assert "5 run(s)" in proc.stdout
+
+    proc = _cli(tmp_path, "db", "query", "--db", "repro.db",
+                "--summary")
+    assert proc.returncode == 0, proc.stderr
+    assert json.loads(proc.stdout)["runs"] == 5
+
+    proc = _cli(tmp_path, "db", "report", "--db", "repro.db",
+                "--output", "report.html")
+    assert proc.returncode == 0, proc.stderr
+    html = (tmp_path / "report.html").read_text()
+    assert "Provenance appendix" in html
+
+    proc = _cli(tmp_path, "db", "query", "--db", "missing.db")
+    assert proc.returncode != 0
+    assert "no results database" in proc.stderr
+
+
+def test_cli_db_ingest_smoke(tmp_path):
+    runner = ExperimentRunner(preset="tiny", scale=0.3, seed=7,
+                              cache_dir=str(tmp_path / "cache"))
+    runner.run("BFS", Protocol.GTSC, Consistency.RC)
+    proc = _cli(tmp_path, "db", "ingest", "--db", "repro.db",
+                "--cache-dir", "cache")
+    assert proc.returncode == 0, proc.stderr
+    assert "ingested 1" in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# store plumbing
+# ---------------------------------------------------------------------------
+
+def test_db_creates_parent_directories(tmp_path):
+    path = tmp_path / "deep" / "nested" / "r.db"
+    db = ResultsDB(str(path))
+    db.record(KEY_A, make_stats())
+    assert path.exists()
+
+
+def test_schema_version_is_stamped(tmp_path):
+    from repro.db.store import SCHEMA_VERSION
+
+    path = str(tmp_path / "r.db")
+    ResultsDB(path).record(KEY_A, make_stats())
+    conn = sqlite3.connect(path)
+    assert conn.execute("PRAGMA user_version").fetchone()[0] == \
+        SCHEMA_VERSION
+    conn.close()
