@@ -49,6 +49,13 @@ TOLERANCES = {
     "test_submit_latency_cold": 0.50,
     "test_submit_latency_cached": 0.60,
     "test_submit_latency_coalesced": 0.50,
+    # fleet load benchmarks: whole-fleet wall clock across worker
+    # *subprocesses* — process scheduling and core count dominate the
+    # jitter, so these get the loosest bounds in the suite
+    "test_fleet_cold_throughput[1w]": 0.60,
+    "test_fleet_cold_throughput[2w]": 0.60,
+    "test_fleet_cold_throughput[4w]": 0.60,
+    "test_fleet_zipf_load": 0.60,
 }
 
 

@@ -10,6 +10,8 @@ Subcommands::
     gtsc-repro run --all
     gtsc-repro report --output EXPERIMENTS.md
     gtsc-repro serve --port 8642          # long-lived experiment service
+    gtsc-repro serve --jobs 0             # pure dispatcher for a fleet
+    gtsc-repro serve worker --connect 127.0.0.1:8642   # fleet worker
     gtsc-repro submit BFS --port 8642     # run one point via the service
     gtsc-repro jobs --port 8642           # inspect the service queue
     gtsc-repro jobs --metrics-text        # Prometheus text exposition
@@ -370,13 +372,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import os
 
-    from repro.harness.cache import RunCache
-    from repro.serve import JobStore, Scheduler, ServeServer
+    from repro.serve import JobStore, ResultStore, Scheduler, \
+        ServeServer
 
     state_dir = args.state_dir
     os.makedirs(state_dir, exist_ok=True)
     store = JobStore(os.path.join(state_dir, "jobs.jsonl"))
-    cache = None if args.no_cache else RunCache(args.cache_dir)
+    cache = None if args.no_cache else ResultStore(args.cache_dir)
     max_bytes = (args.cache_max_mb * 1024 * 1024
                  if args.cache_max_mb else None)
     scheduler = Scheduler(
@@ -385,6 +387,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         retry_after=args.retry_after,
         cache_max_bytes=max_bytes,
         db=None if args.no_db else args.db,
+        db_flush_interval=args.db_flush or None,
+        shards=args.shards,
         timeout=args.job_timeout,
         max_attempts=args.max_attempts,
         lease_duration=args.lease_duration,
@@ -395,6 +399,36 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(server.serve_forever())
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def cmd_serve_worker(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.serve import FleetWorker, ServeClient
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"--connect wants HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    client = ServeClient(host=host, port=int(port),
+                         timeout=args.timeout, retries=args.retries)
+    worker = FleetWorker(
+        client, name=args.name,
+        timeout=args.job_timeout,
+        lease_duration=args.lease_duration,
+        poll_interval=args.poll_interval,
+        max_jobs=args.max_jobs,
+        idle_exit=args.idle_exit,
+        drain_exit=not args.reconnect,
+    )
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, lambda *_: worker.stop())
+        except (ValueError, OSError):  # pragma: no cover
+            pass                       # non-main thread / platform
+    worker.run()
     return 0
 
 
@@ -680,10 +714,13 @@ def make_parser() -> argparse.ArgumentParser:
     p_serve = sub.add_parser(
         "serve",
         help="run the experiment service (durable queue, dedup, "
-             "shared run cache) until SIGTERM")
+             "shared result store) until SIGTERM; 'serve worker' "
+             "joins a remote fleet instead")
     _add_endpoint_args(p_serve)
     p_serve.add_argument("--jobs", type=int, default=1, metavar="N",
-                         help="worker threads (default: 1)")
+                         help="in-process worker threads; 0 makes "
+                              "this a pure dispatcher for remote "
+                              "'serve worker' processes (default: 1)")
     p_serve.add_argument("--queue-limit", type=int, default=64,
                          help="max queued+running jobs before submits "
                               "get a retry-after refusal (default: 64)")
@@ -714,6 +751,14 @@ def make_parser() -> argparse.ArgumentParser:
                          help="seconds a worker may hold a job before "
                               "it is requeued (default: 300)")
     _add_db_args(p_serve)
+    p_serve.add_argument("--db-flush", type=float, default=0.5,
+                         metavar="S",
+                         help="batch results-db writes into one "
+                              "transaction per interval; 0 writes "
+                              "each job immediately (default: 0.5)")
+    p_serve.add_argument("--shards", type=int, default=16,
+                         metavar="N",
+                         help="dedup lock shards (default: 16)")
     p_serve.add_argument("--retry-after", type=float, default=1.0,
                          metavar="S",
                          help="retry-after hint sent with busy/"
@@ -723,6 +768,49 @@ def make_parser() -> argparse.ArgumentParser:
                          help="max seconds SIGTERM waits for in-"
                               "flight results (default: 30)")
     p_serve.set_defaults(fn=cmd_serve)
+
+    serve_sub = p_serve.add_subparsers(dest="serve_command",
+                                       metavar="worker")
+    p_worker = serve_sub.add_parser(
+        "worker",
+        help="lease and execute jobs from a remote dispatcher")
+    p_worker.add_argument("--connect", required=True,
+                          metavar="HOST:PORT",
+                          help="dispatcher endpoint to lease from")
+    p_worker.add_argument("--name", default=None,
+                          help="lease identity "
+                               "(default: <hostname>-<pid>)")
+    p_worker.add_argument("--poll-interval", type=float, default=0.5,
+                          metavar="S",
+                          help="sleep between empty-queue polls "
+                               "(default: 0.5)")
+    p_worker.add_argument("--lease-duration", type=float,
+                          default=None, metavar="S",
+                          help="requested lease length (default: the "
+                               "dispatcher's --lease-duration)")
+    p_worker.add_argument("--job-timeout", type=float, default=None,
+                          metavar="S",
+                          help="per-job execution timeout "
+                               "(default: none)")
+    p_worker.add_argument("--max-jobs", type=int, default=None,
+                          metavar="N",
+                          help="exit after N jobs (default: run "
+                               "until SIGTERM)")
+    p_worker.add_argument("--idle-exit", type=float, default=None,
+                          metavar="S",
+                          help="exit after S seconds with an empty "
+                               "queue (default: keep polling)")
+    p_worker.add_argument("--reconnect", action="store_true",
+                          help="keep polling when the dispatcher is "
+                               "draining or unreachable instead of "
+                               "exiting")
+    p_worker.add_argument("--timeout", type=float, default=120.0,
+                          help="per-request socket timeout in "
+                               "seconds (default: 120)")
+    p_worker.add_argument("--retries", type=int, default=5,
+                          help="attempts before a request is "
+                               "declared failed (default: 5)")
+    p_worker.set_defaults(fn=cmd_serve_worker)
 
     p_sub = sub.add_parser(
         "submit",

@@ -23,6 +23,15 @@ resolve by last-write-wins.  The database opens in WAL mode with a
 busy timeout, which is sqlite's supported concurrent-writer
 configuration: writers queue briefly instead of failing.
 
+High-rate producers (the serve dispatcher absorbing a fleet's
+results) can opt into **batched writes**: with ``flush_interval``
+set, :meth:`record` only buffers, and a whole interval's worth of
+runs lands as *one* transaction — one fsync per flush instead of one
+per job.  The trade is bounded: a crash loses at most the unflushed
+interval, which for the service means re-simulating what the run
+journal still remembers anyway.  Reads flush first, so a handle
+always sees its own writes; :meth:`close` flushes too.
+
 The round trip is exact: ``db.get_stats(key) ==`` the original
 ``RunStats`` for any run — counters stay integers (sqlite NUMERIC
 affinity preserves them), energies stay float64, histograms restore
@@ -113,7 +122,14 @@ class ResultsDB:
     :meth:`record`, which is transactional and idempotent per run key.
     """
 
-    def __init__(self, path: str, timeout: float = 30.0) -> None:
+    def __init__(self, path: str, timeout: float = 30.0,
+                 flush_interval: Optional[float] = None,
+                 flush_max: int = 256,
+                 clock=time.monotonic) -> None:
+        if flush_interval is not None and flush_interval < 0:
+            raise ValueError("flush_interval must be >= 0")
+        if flush_max < 1:
+            raise ValueError("flush_max must be >= 1")
         self.path = path
         directory = os.path.dirname(path)
         if directory:
@@ -126,14 +142,27 @@ class ResultsDB:
         self._conn.executescript(
             _SCHEMA.format(version=SCHEMA_VERSION))
         self._conn.commit()
+        #: None = write-through (one transaction per record);
+        #: a number = buffer and land one transaction per interval
+        self.flush_interval = flush_interval
+        self.flush_max = flush_max
+        self._clock = clock
+        self._last_flush = clock()
+        # key -> row bundle; a dict so re-recording a key inside one
+        # unflushed interval keeps last-write-wins (two inserts of
+        # the same key in one batch would collide on child-table PKs)
+        self._pending: Dict[str, tuple] = {}
         #: rows written / replaced through this handle
         self.recorded = 0
+        #: batch transactions committed (write-through never bumps it)
+        self.flushes = 0
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
         with self._lock:
+            self._flush_locked()
             self._conn.close()
 
     def __enter__(self) -> "ResultsDB":
@@ -219,27 +248,63 @@ class ResultsDB:
             for name, value in row.items():
                 if name != "cycle":
                     ts_rows.append((run_key, index, cycle, name, value))
-        with self._lock, self._conn:
-            self._conn.execute(
-                f"INSERT INTO runs ({', '.join(RUN_COLUMNS)}) "
-                f"VALUES ({', '.join('?' * len(RUN_COLUMNS))}) "
-                "ON CONFLICT(run_key) DO UPDATE SET "
-                + ", ".join(f"{c} = excluded.{c}"
-                            for c in RUN_COLUMNS
-                            if c not in ("run_key", "created_at")),
-                run_row)
-            self._conn.execute(
-                "DELETE FROM stats WHERE run_key = ?", (run_key,))
-            self._conn.execute(
-                "DELETE FROM timeseries WHERE run_key = ?", (run_key,))
-            self._conn.executemany(
-                "INSERT INTO stats (run_key, kind, name, value, payload)"
-                " VALUES (?, ?, ?, ?, ?)", stat_rows)
-            self._conn.executemany(
-                "INSERT INTO timeseries "
-                "(run_key, sample, cycle, name, value)"
-                " VALUES (?, ?, ?, ?, ?)", ts_rows)
-        self.recorded += 1
+        with self._lock:
+            if self.flush_interval is None:
+                with self._conn:
+                    self._write_one(run_key, run_row, stat_rows,
+                                    ts_rows)
+                self.recorded += 1
+                return
+            self._pending[run_key] = (run_row, stat_rows, ts_rows)
+            now = self._clock()
+            if len(self._pending) >= self.flush_max or \
+                    now - self._last_flush >= self.flush_interval:
+                self._flush_locked()
+
+    def flush(self) -> int:
+        """Land any buffered runs as one transaction; returns how
+        many were written (always 0 in write-through mode)."""
+        with self._lock:
+            return self._flush_locked()
+
+    def _flush_locked(self) -> int:
+        """Write the pending batch (caller holds the lock)."""
+        if not self._pending:
+            return 0
+        self._last_flush = self._clock()
+        with self._conn:
+            for run_key, (run_row, stat_rows, ts_rows) \
+                    in self._pending.items():
+                self._write_one(run_key, run_row, stat_rows, ts_rows)
+        written = len(self._pending)
+        self.recorded += written
+        self.flushes += 1
+        self._pending.clear()
+        return written
+
+    def _write_one(self, run_key: str, run_row: tuple,
+                   stat_rows: List[tuple],
+                   ts_rows: List[tuple]) -> None:
+        """Upsert one run's rows (caller owns the transaction)."""
+        self._conn.execute(
+            f"INSERT INTO runs ({', '.join(RUN_COLUMNS)}) "
+            f"VALUES ({', '.join('?' * len(RUN_COLUMNS))}) "
+            "ON CONFLICT(run_key) DO UPDATE SET "
+            + ", ".join(f"{c} = excluded.{c}"
+                        for c in RUN_COLUMNS
+                        if c not in ("run_key", "created_at")),
+            run_row)
+        self._conn.execute(
+            "DELETE FROM stats WHERE run_key = ?", (run_key,))
+        self._conn.execute(
+            "DELETE FROM timeseries WHERE run_key = ?", (run_key,))
+        self._conn.executemany(
+            "INSERT INTO stats (run_key, kind, name, value, payload)"
+            " VALUES (?, ?, ?, ?, ?)", stat_rows)
+        self._conn.executemany(
+            "INSERT INTO timeseries "
+            "(run_key, sample, cycle, name, value)"
+            " VALUES (?, ?, ?, ?, ?)", ts_rows)
 
     # ------------------------------------------------------------------
     # reading
@@ -247,6 +312,7 @@ class ResultsDB:
     def get_run(self, run_key: str) -> Optional[Dict]:
         """The ``runs`` row for one key as a dict, or None."""
         with self._lock:
+            self._flush_locked()
             cur = self._conn.execute(
                 "SELECT * FROM runs WHERE run_key = ?", (run_key,))
             row = cur.fetchone()
@@ -260,6 +326,7 @@ class ResultsDB:
         if run is None:
             return None
         with self._lock:
+            self._flush_locked()
             stat_rows = self._conn.execute(
                 "SELECT kind, name, value, payload FROM stats "
                 "WHERE run_key = ?", (run_key,)).fetchall()
@@ -329,12 +396,14 @@ class ResultsDB:
         if limit is not None:
             sql += f" LIMIT {int(limit)}"
         with self._lock:
+            self._flush_locked()
             rows = self._conn.execute(sql, params).fetchall()
         return [dict(zip(RUN_COLUMNS, row)) for row in rows]
 
     def counter(self, run_key: str, name: str) -> Optional[int]:
         """One counter of one run (None when absent)."""
         with self._lock:
+            self._flush_locked()
             row = self._conn.execute(
                 "SELECT value FROM stats WHERE run_key = ? "
                 "AND kind = 'counter' AND name = ?",
@@ -343,12 +412,14 @@ class ResultsDB:
 
     def count(self) -> int:
         with self._lock:
+            self._flush_locked()
             return self._conn.execute(
                 "SELECT COUNT(*) FROM runs").fetchone()[0]
 
     def summary(self) -> Dict:
         """Fleet-level aggregates for reports and the CLI."""
         with self._lock:
+            self._flush_locked()
             runs, = self._conn.execute(
                 "SELECT COUNT(*) FROM runs").fetchone()
             distinct = self._conn.execute(

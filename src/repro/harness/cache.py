@@ -131,6 +131,33 @@ class JsonFileCache:
             pass
         return value
 
+    def contains(self, key: str) -> bool:
+        """Whether an entry file exists for ``key`` (no counters).
+
+        Cheaper than :meth:`get` — one ``stat`` instead of a read and
+        parse — which matters on the fleet dispatcher's lease path,
+        where every granted job is first checked against the shared
+        result store.
+        """
+        return os.path.exists(self._path(key))
+
+    def put_if_absent(self, key: str, value) -> bool:
+        """Persist ``value`` unless an entry for ``key`` already exists.
+
+        Returns whether this call wrote.  The check-then-write is not
+        atomic across processes, but it does not need to be: entries
+        are pure functions of their key, so two racing writers of the
+        same key produce identical files and the atomic rename in
+        :meth:`put` makes the last one win harmlessly.  What this
+        buys is *bookkeeping* — a late result arriving after its job
+        was requeued and re-executed elsewhere can tell it was
+        redundant.
+        """
+        if self.contains(key):
+            return False
+        self.put(key, value)
+        return True
+
     def put(self, key: str, value) -> None:
         """Persist ``value`` under ``key`` (atomic, best-effort)."""
         try:

@@ -6,12 +6,19 @@ so many clients can share one simulation budget:
 * :mod:`~repro.serve.jobs` — crash-safe JSONL job journal with
   leases (PENDING -> LEASED -> DONE/FAILED, expiry requeues);
 * :mod:`~repro.serve.scheduler` — single-flight dedup keyed by
-  :func:`repro.harness.cache.run_key` plus the shared
-  :class:`~repro.harness.cache.RunCache`;
+  :func:`repro.harness.cache.run_key`, sharded over independent
+  locks, plus the fleet-facing lease/complete/fail/heartbeat entry
+  points;
+* :mod:`~repro.serve.results` — the content-addressed result store
+  every fleet member (and the batch harness) shares;
 * :mod:`~repro.serve.workers` — leased worker threads with per-job
-  timeout, jittered retry, and failure quarantine;
+  timeout, jittered retry, and failure quarantine (``jobs=0`` makes
+  the process a pure dispatcher);
+* :mod:`~repro.serve.fleet` — the remote worker process: a lease
+  loop over the wire (``serve worker --connect``);
 * :mod:`~repro.serve.server` / :mod:`~repro.serve.client` — the
-  newline-JSON TCP protocol (versioned, with backpressure);
+  newline-JSON TCP protocol (versioned, with backpressure and
+  persistent client connections);
 * :mod:`~repro.serve.schema` — the request/result schema shared with
   ``gtsc-repro simulate --json``.
 
@@ -22,7 +29,9 @@ from __future__ import annotations
 
 from repro.serve.client import ServeClient, ServeError, \
     ServeUnavailable
+from repro.serve.fleet import FleetWorker, default_worker_name
 from repro.serve.jobs import Job, JobStore
+from repro.serve.results import ResultStore
 from repro.serve.scheduler import Busy, Quarantined, Scheduler, \
     Submission
 from repro.serve.schema import PROTOCOL_VERSION, SpecError, \
@@ -32,11 +41,13 @@ from repro.serve.workers import JobTimeout, WorkerPool, execute_spec
 
 __all__ = [
     "Busy",
+    "FleetWorker",
     "Job",
     "JobStore",
     "JobTimeout",
     "PROTOCOL_VERSION",
     "Quarantined",
+    "ResultStore",
     "Scheduler",
     "ServeClient",
     "ServeError",
@@ -45,6 +56,7 @@ __all__ = [
     "SpecError",
     "Submission",
     "WorkerPool",
+    "default_worker_name",
     "execute_spec",
     "make_spec",
     "result_envelope",

@@ -1,9 +1,23 @@
 """Blocking client for the serve protocol, with retry and backoff.
 
 The client is deliberately synchronous — it is what the CLI, tests,
-and simple sweep drivers use, and a blocking socket per caller keeps
-it dependency-free.  Each logical request opens one connection, sends
-one newline-terminated JSON object, and reads one reply line.
+sweep drivers, and the fleet worker loop use, and a blocking socket
+per caller keeps it dependency-free.  The connection is
+**persistent**: the first request dials the server and every later
+request reuses the same socket (the server happily carries any number
+of request lines per connection), which is what makes a
+thousand-request load generator or a tight worker lease loop cheap.
+A send or read that fails on a *reused* socket is indistinguishable
+from the server having idled it out, so it is retried once,
+immediately, on a fresh connection — only a failure on a
+freshly-dialled socket counts against the backoff-governed retry
+budget below.
+
+The persistence makes a client **one caller's** object: requests on a
+connection are strictly request-reply, so concurrent calls from two
+threads would interleave on the socket (and a blocking ``submit``
+would head-of-line-block the other caller anyway).  Use one client
+per thread; they are cheap.
 
 Transient trouble is retried transparently, with jittered exponential
 backoff, up to ``retries`` attempts:
@@ -68,24 +82,77 @@ class ServeClient:
         self.backoff_cap = backoff_cap
         self._rng = rng if rng is not None else random.Random()
         self._sleep = sleep
+        self._sock: Optional[socket.socket] = None
+        self._stream = None
         #: connection failures + transient refusals absorbed so far
         self.retries_used = 0
+        #: connections dialled (reuse keeps this at 1 per healthy run)
+        self.connects = 0
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
-    def _roundtrip(self, payload: Dict) -> Dict:
-        """One connection, one request line, one reply line."""
-        with socket.create_connection((self.host, self.port),
-                                      timeout=self.timeout) as sock:
-            sock.sendall(json.dumps(
-                payload, sort_keys=True,
-                separators=(",", ":")).encode() + b"\n")
-            with sock.makefile("rb") as stream:
-                line = stream.readline()
+    def close(self) -> None:
+        """Drop the persistent connection (reopened on next request)."""
+        if self._stream is not None:
+            try:
+                self._stream.close()
+            except OSError:
+                pass
+            self._stream = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout)
+        self._stream = self._sock.makefile("rb")
+        self.connects += 1
+
+    def _exchange(self, payload: Dict) -> Dict:
+        """One request line, one reply line, on the open socket."""
+        self._sock.sendall(json.dumps(
+            payload, sort_keys=True,
+            separators=(",", ":")).encode() + b"\n")
+        line = self._stream.readline()
         if not line:
             raise ConnectionError("server closed the connection")
         return json.loads(line)
+
+    def _roundtrip(self, payload: Dict) -> Dict:
+        """One request/reply over the persistent connection.
+
+        A failure on a reused socket (broken pipe, reset, EOF after
+        an idle period) gets one immediate retry on a fresh
+        connection before the error propagates to the backoff loop —
+        stale-connection errors say nothing about the server's
+        health, so they should cost neither a retry slot nor a sleep.
+        """
+        fresh = self._sock is None
+        if fresh:
+            self._connect()
+        try:
+            return self._exchange(payload)
+        except (OSError, ValueError):
+            self.close()
+            if fresh:
+                raise
+            self._connect()
+            try:
+                return self._exchange(payload)
+            except (OSError, ValueError):
+                self.close()
+                raise
 
     def _backoff(self, attempt: int, floor: float = 0.0) -> float:
         base = min(self.backoff_cap,
@@ -153,3 +220,42 @@ class ServeClient:
 
     def status(self, job_id: str) -> Dict:
         return self.request({"op": "status", "job_id": job_id})
+
+    # ------------------------------------------------------------------
+    # fleet ops (used by the remote worker loop)
+    # ------------------------------------------------------------------
+    def lease(self, worker: str,
+              duration: Optional[float] = None) -> Optional[Dict]:
+        """Lease the next runnable job; ``None`` when the queue is
+        empty (the server's lease duration applies unless given)."""
+        payload: Dict = {"op": "lease", "worker": worker}
+        if duration is not None:
+            payload["duration"] = duration
+        return self.request(payload).get("job")
+
+    def complete(self, job_id: str, worker: str, stats: RunStats,
+                 wall_time_s: Optional[float] = None) -> bool:
+        """Report a finished job; returns whether this result was the
+        completion of record (``False`` = deduplicated late result)."""
+        payload: Dict = {"op": "complete", "job_id": job_id,
+                         "worker": worker, "stats": stats.to_dict()}
+        if wall_time_s is not None:
+            payload["wall_time_s"] = wall_time_s
+        return bool(self.request(payload).get("fresh"))
+
+    def fail(self, job_id: str, worker: str, message: str) -> bool:
+        """Report a failed attempt; returns whether the report was
+        applied (``False`` = the lease had already moved on)."""
+        return bool(self.request(
+            {"op": "fail", "job_id": job_id, "worker": worker,
+             "message": message}).get("applied"))
+
+    def heartbeat(self, job_id: str, worker: str,
+                  duration: Optional[float] = None) -> float:
+        """Extend the lease; returns the new deadline.  Raises
+        :class:`ServeError` (``lease-lost``) when the job moved on."""
+        payload: Dict = {"op": "heartbeat", "job_id": job_id,
+                         "worker": worker}
+        if duration is not None:
+            payload["duration"] = duration
+        return float(self.request(payload).get("deadline", 0.0))

@@ -20,10 +20,19 @@ State machine::
 
 Leases carry a wall-clock deadline: a worker that stops heartbeating
 (crashed, wedged, OOM-killed) simply lets its deadline pass, after
-which :meth:`JobStore.lease` hands the job to the next worker.  The
+which :meth:`JobStore.lease` hands the job to the next worker.
+Live workers extend their deadline with :meth:`JobStore.heartbeat`;
+heartbeats are *not* journalled, because a lease never survives a
+dispatcher restart anyway (reopen requeues every LEASED job).  The
 ``not_before`` field delays retries (jittered backoff is computed by
 the worker pool; the store only enforces the resulting earliest start
 time).
+
+Long-lived dispatchers accumulate an unbounded transition history;
+besides the explicit :meth:`JobStore.compact`, the store compacts
+itself at startup when the replayed journal carries more than
+``compact_threshold`` stale records (transitions of already-finished
+jobs), logging the reclaimed count to stderr.
 
 The store is synchronous and thread-safe; the asyncio server talks to
 it through the scheduler, never directly from the event loop.
@@ -34,6 +43,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import sys
 import threading
 import time
 import warnings
@@ -87,7 +97,8 @@ class JobStore:
 
     def __init__(self, path: str,
                  clock: Callable[[], float] = time.time,
-                 fsync: bool = False) -> None:
+                 fsync: bool = False,
+                 compact_threshold: Optional[int] = 1000) -> None:
         self.path = path
         self._clock = clock
         self._fsync = fsync
@@ -95,11 +106,19 @@ class JobStore:
         self._jobs: Dict[str, Job] = {}
         self._by_key: Dict[str, str] = {}   # key -> active job id
         self._seq = 0
+        self.replayed_records = 0
         self._replay()
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
         self._handle = open(path, "a", encoding="utf-8")
+        stale = self.replayed_records - len(self._jobs)
+        if compact_threshold is not None and stale >= compact_threshold:
+            self.compact()
+            print(f"[jobs] compacted {self.path} at startup: "
+                  f"reclaimed {stale} stale record(s), "
+                  f"{len(self._jobs)} job(s) kept",
+                  file=sys.stderr, flush=True)
         self._recover_leases()
 
     # ------------------------------------------------------------------
@@ -119,6 +138,7 @@ class JobStore:
                 try:
                     record = json.loads(line)
                     self._apply(record)
+                    self.replayed_records += 1
                 except (ValueError, KeyError, TypeError) as error:
                     # a torn trailing line is the expected crash
                     # artifact; anything else is still safer to skip
@@ -212,17 +232,27 @@ class JobStore:
     # ------------------------------------------------------------------
     # transitions
     # ------------------------------------------------------------------
-    def submit(self, spec: Dict, key: str) -> Job:
+    def submit(self, spec: Dict, key: str,
+               limit: Optional[int] = None) -> Optional[Job]:
         """Queue a job for ``key``, deduplicating against active ones.
 
         At most one PENDING/LEASED job exists per key: a second submit
         of an identical point returns the already-queued job, which is
         what lets N concurrent identical requests ride one simulation.
+
+        ``limit`` bounds queue occupancy *atomically*: when admitting
+        this job would push the active count past it, nothing is
+        journalled and ``None`` is returned (the scheduler turns that
+        into a ``Busy`` refusal).  Dedup wins over the limit — an
+        identical active submission coalesces even through a full
+        queue, because attaching costs no capacity.
         """
         with self._lock:
             existing = self._by_key.get(key)
             if existing is not None:
                 return self._jobs[existing]
+            if limit is not None and len(self._by_key) >= limit:
+                return None
             now = self._clock()
             self._seq += 1
             job = Job(id=f"j{self._seq:06d}", key=key, spec=dict(spec),
@@ -268,6 +298,29 @@ class JobStore:
         """Public hook: reclaim expired leases right now."""
         with self._lock:
             self._expire(self._clock())
+
+    def heartbeat(self, job_id: str, worker: str,
+                  duration: float) -> Job:
+        """Extend ``worker``'s lease on a job by ``duration`` seconds.
+
+        Raises :class:`KeyError` for an unknown job and
+        :class:`ValueError` when the job is not currently leased by
+        ``worker`` — the signal a slow worker gets that its lease
+        expired and the job moved on (its eventual result is then
+        deduplicated by run key instead of completing the job).
+
+        Deliberately not journalled: a dispatcher restart requeues
+        every lease regardless (see :meth:`_recover_leases`), so a
+        deadline extension has nothing to survive into.
+        """
+        with self._lock:
+            job = self._jobs[job_id]
+            if job.state != LEASED or job.worker != worker:
+                raise ValueError(
+                    f"job {job_id} is not leased by {worker!r} "
+                    f"(state {job.state}, holder {job.worker!r})")
+            job.deadline = self._clock() + duration
+            return job
 
     def complete(self, job_id: str) -> Job:
         """LEASED -> DONE (the result itself lives in the run cache)."""

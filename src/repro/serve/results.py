@@ -1,0 +1,40 @@
+"""The fleet-shared, content-addressed store of finished results.
+
+One simulation result is one ``<run_key>.json`` file under a
+directory every fleet member can reach (same host, NFS, a bind
+mount).  The run key is the sha256 digest the harness cache, the
+scheduler's single-flight dedup, and the results database all agree
+on (:func:`repro.harness.cache.run_key`), so the store doubles as
+the batch harness's run cache: a point simulated by ``gtsc-repro
+run`` is a store hit when requested through the service, and a fleet
+result is a cache hit for a later batch sweep.
+
+Why this is safe for N concurrent writers with no locking at all:
+
+* entries are **content-addressed** — the key is a digest over every
+  input of a deterministic simulation, so two writers of one key are
+  by construction writing identical bytes;
+* writes are **atomic renames** (temp file + ``os.replace``), so a
+  reader never observes a torn entry and the last racing writer wins
+  without corrupting anything;
+* :meth:`~repro.harness.cache.JsonFileCache.put_if_absent` gives the
+  dispatcher the bookkeeping bit — "did my write land first?" — that
+  deduplicates late results arriving after a lease expired and the
+  job re-ran elsewhere.
+
+The class is the :class:`~repro.harness.cache.RunCache` mechanics
+under a name that says what the fleet uses it for; keeping it a
+subclass is what keeps the "one key, every subsystem" property a
+type-level fact rather than a convention.
+"""
+
+from __future__ import annotations
+
+from repro.harness.cache import RunCache
+
+
+class ResultStore(RunCache):
+    """Content-addressed result store shared by a dispatcher fleet."""
+
+    what = "result-store"
+    recovery = "re-simulating"

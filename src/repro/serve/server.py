@@ -13,6 +13,28 @@ connection may carry any number of requests)::
     -> {"v": 1, "op": "jobs"}         # queue listing + state counts
     -> {"v": 1, "op": "status", "job_id": "j000001"}
 
+Remote workers (``serve worker --connect``) drive the fleet half of
+the protocol — leasing jobs out of the dispatcher's journal over the
+wire and reporting outcomes back::
+
+    -> {"v": 1, "op": "lease", "worker": "host-123", "duration": 300}
+    <- {"v": 1, "ok": true, "kind": "lease", "job": {...} | null}
+
+    -> {"v": 1, "op": "heartbeat", "job_id": "j000001",
+        "worker": "host-123", "duration": 300}
+    -> {"v": 1, "op": "complete", "job_id": "j000001",
+        "worker": "host-123", "stats": {...}, "wall_time_s": 1.25}
+    <- {"v": 1, "ok": true, "kind": "completed", "fresh": true}
+    -> {"v": 1, "op": "fail", "job_id": "j000001",
+        "worker": "host-123", "message": "..."}
+
+A ``lease`` during drain answers ``"error": "draining"`` (workers
+idle or exit; in-flight leases may still ``complete``).  A
+``heartbeat`` or ``complete`` whose lease has expired and moved on is
+answered with ``"error": "lease-lost"`` / ``"fresh": false``
+respectively — the late result is deduplicated by run key, never
+discarded.
+
 Refusals are structured, never silence: a full queue answers
 ``{"ok": false, "error": "busy", "retry_after": s}`` (the client's
 backoff honours ``retry_after``), a draining server answers the same
@@ -46,7 +68,7 @@ from typing import Dict, Optional
 from repro.obs import MetricsRegistry
 from repro.serve import schema
 from repro.serve.scheduler import Busy, Quarantined, Scheduler
-from repro.stats.collector import StatsCollector
+from repro.stats.collector import RunStats, StatsCollector
 
 #: counter names sampled into the service time-series
 SERVE_COUNTERS = (
@@ -57,6 +79,8 @@ SERVE_COUNTERS = (
     "serve_coalesced",
     "serve_rejected",
     "serve_errors",
+    "serve_leases",
+    "serve_remote_results",
 )
 
 
@@ -197,6 +221,14 @@ class ServeServer:
             return self._jobs()
         if op == "status":
             return self._status(request)
+        if op == "lease":
+            return await self._lease(request)
+        if op == "complete":
+            return await self._complete(request)
+        if op == "fail":
+            return self._fail(request)
+        if op == "heartbeat":
+            return self._heartbeat(request)
         return self._error("bad-request", f"unknown op {op!r}")
 
     def _error(self, error: str, message: str = "",
@@ -313,3 +345,101 @@ class ServeServer:
                                f"no job {request.get('job_id')!r}")
         return {"v": schema.PROTOCOL_VERSION, "ok": True,
                 "job": job.to_dict()}
+
+    # ------------------------------------------------------------------
+    # fleet ops (remote workers)
+    # ------------------------------------------------------------------
+    def _fleet_identity(self, request: Dict):
+        """Validate the fields every fleet op carries.
+
+        Returns ``(worker, duration, error_reply)``; exactly one of
+        the pair (identity, error) is meaningful.
+        """
+        worker = request.get("worker")
+        if not isinstance(worker, str) or not worker:
+            return None, None, self._error(
+                "bad-request", "worker must be a non-empty string")
+        duration = request.get(
+            "duration", self.scheduler.pool.lease_duration)
+        if not isinstance(duration, (int, float)) or duration <= 0:
+            return None, None, self._error(
+                "bad-request", "duration must be a positive number")
+        return worker, float(duration), None
+
+    async def _lease(self, request: Dict) -> Dict:
+        worker, duration, bad = self._fleet_identity(request)
+        if bad is not None:
+            return bad
+        if self.draining:
+            return self._error("draining", "server is draining",
+                               retry_after=self.scheduler.retry_after)
+        # leasing touches the journal and may read the result store;
+        # keep that off the event loop
+        job = await asyncio.get_running_loop().run_in_executor(
+            None, self.scheduler.lease, worker, duration)
+        if job is not None:
+            self.collector.add("serve_leases")
+        return {"v": schema.PROTOCOL_VERSION, "ok": True,
+                "kind": "lease",
+                "job": job.to_dict() if job is not None else None}
+
+    async def _complete(self, request: Dict) -> Dict:
+        worker, _, bad = self._fleet_identity(request)
+        if bad is not None:
+            return bad
+        job_id = str(request.get("job_id"))
+        try:
+            stats = RunStats.from_dict(request.get("stats"))
+        except (ValueError, KeyError, TypeError, AttributeError) \
+                as error:
+            return self._error(
+                "bad-request", f"stats payload is not a RunStats "
+                f"dict: {type(error).__name__}: {error}")
+        wall_time = request.get("wall_time_s")
+        if wall_time is not None and \
+                not isinstance(wall_time, (int, float)):
+            return self._error("bad-request",
+                               "wall_time_s must be a number")
+        try:
+            # publishing writes the store (and possibly the DB);
+            # keep it off the event loop too
+            fresh = await asyncio.get_running_loop().run_in_executor(
+                None, self.scheduler.complete, job_id, worker, stats,
+                wall_time)
+        except KeyError:
+            return self._error("not-found", f"no job {job_id!r}")
+        self.collector.add("serve_remote_results")
+        if fresh:
+            self.collector.add("serve_results")
+        return {"v": schema.PROTOCOL_VERSION, "ok": True,
+                "kind": "completed", "job_id": job_id,
+                "fresh": fresh}
+
+    def _fail(self, request: Dict) -> Dict:
+        worker, _, bad = self._fleet_identity(request)
+        if bad is not None:
+            return bad
+        job_id = str(request.get("job_id"))
+        message = str(request.get("message", "worker-reported failure"))
+        try:
+            applied = self.scheduler.fail(job_id, worker, message)
+        except KeyError:
+            return self._error("not-found", f"no job {job_id!r}")
+        return {"v": schema.PROTOCOL_VERSION, "ok": True,
+                "kind": "failed", "job_id": job_id,
+                "applied": applied}
+
+    def _heartbeat(self, request: Dict) -> Dict:
+        worker, duration, bad = self._fleet_identity(request)
+        if bad is not None:
+            return bad
+        job_id = str(request.get("job_id"))
+        try:
+            job = self.scheduler.heartbeat(job_id, worker, duration)
+        except KeyError:
+            return self._error("not-found", f"no job {job_id!r}")
+        except ValueError as error:
+            return self._error("lease-lost", str(error))
+        return {"v": schema.PROTOCOL_VERSION, "ok": True,
+                "kind": "heartbeat", "job_id": job_id,
+                "deadline": job.deadline}

@@ -67,6 +67,13 @@ class WorkerPool:
     them to resolve waiter futures and populate the run cache.
     ``clock``/``sleep``/``rng`` are injectable for deterministic
     tests.
+
+    ``jobs=0`` is the pure-dispatcher configuration: no local worker
+    threads lease anything, but the pool still owns the pieces the
+    *remote* fleet shares — the retry/backoff/quarantine policy
+    (:meth:`record_failure`), the latency histograms and executed
+    counters (:meth:`note_executed`), and the quarantine lookups the
+    scheduler consults on every submit.
     """
 
     def __init__(self, store: JobStore, jobs: int = 1,
@@ -84,8 +91,8 @@ class WorkerPool:
                  = None,
                  on_failure: Optional[Callable[[Job, str], None]]
                  = None) -> None:
-        if jobs < 1:
-            raise ValueError("jobs must be >= 1")
+        if jobs < 0:
+            raise ValueError("jobs must be >= 0")
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         self.store = store
@@ -183,12 +190,7 @@ class WorkerPool:
             self._handle_failure(job, error)
             return
         wall_time = time.perf_counter() - started
-        self.executed += 1
-        with self._lock:
-            self.latency.add("job_queue_wait_ms",
-                             int(round(queue_wait * 1000)))
-            self.latency.add("job_simulate_ms",
-                             int(round(wall_time * 1000)))
+        self.note_executed(queue_wait, wall_time)
         self.store.complete(job.id)
         # stamp the measured wall time onto the job so downstream
         # consumers (scheduler -> results DB) get it without widening
@@ -196,6 +198,22 @@ class WorkerPool:
         job.wall_time_s = wall_time
         if self.on_result is not None:
             self.on_result(job, stats)
+
+    def note_executed(self, queue_wait: float,
+                      wall_time: float) -> None:
+        """Count one finished execution into the pool's telemetry.
+
+        Shared by the local worker loop and the remote ``complete``
+        op, so fleet-wide latency histograms and the ``executed``
+        counter mean the same thing whichever kind of worker ran the
+        job.
+        """
+        self.executed += 1
+        with self._lock:
+            self.latency.add("job_queue_wait_ms",
+                             int(round(queue_wait * 1000)))
+            self.latency.add("job_simulate_ms",
+                             int(round(wall_time * 1000)))
 
     def latency_summary(self) -> Dict:
         """Count/mean/p50/p95/p99/max (ms) per latency histogram."""
@@ -237,7 +255,16 @@ class WorkerPool:
         return value
 
     def _handle_failure(self, job: Job, error: Exception) -> None:
-        message = f"{type(error).__name__}: {error}"
+        self.record_failure(job, f"{type(error).__name__}: {error}")
+
+    def record_failure(self, job: Job, message: str) -> None:
+        """Apply the retry policy to one failed LEASED attempt.
+
+        The single authority on what a failure means — requeue with
+        jittered backoff while attempts remain, terminal FAILED plus
+        key quarantine once they run out — used by local worker
+        threads and by the server's remote ``fail`` op alike.
+        """
         if job.attempts < self.max_attempts:
             self.retried += 1
             self.store.requeue(job.id,

@@ -411,3 +411,73 @@ def test_schema_version_is_stamped(tmp_path):
     assert conn.execute("PRAGMA user_version").fetchone()[0] == \
         SCHEMA_VERSION
     conn.close()
+
+
+# ---------------------------------------------------------------------------
+# batched writes (flush_interval)
+# ---------------------------------------------------------------------------
+
+class TickClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_batched_record_lands_one_transaction_per_interval(tmp_path):
+    clock = TickClock()
+    db = ResultsDB(str(tmp_path / "r.db"), flush_interval=1.0,
+                   clock=clock)
+    db.record(KEY_A, make_stats(), source="serve")
+    clock.now = 0.5
+    db.record(KEY_B, make_stats(), source="serve")
+    assert db.flushes == 0 and db.recorded == 0      # still buffered
+    clock.now = 1.0
+    db.record("c" * 64, make_stats(), source="serve")
+    assert db.flushes == 1 and db.recorded == 3      # one transaction
+    db.close()
+
+
+def test_batched_reads_see_pending_writes(tmp_path):
+    db = ResultsDB(str(tmp_path / "r.db"), flush_interval=3600,
+                   clock=TickClock())
+    db.record(KEY_A, make_stats(counters={"l1_hit": 9}),
+              source="serve")
+    # every reader flushes first: a handle always reads its writes
+    assert db.count() == 1
+    assert db.get_stats(KEY_A).counters["l1_hit"] == 9
+    assert db.flushes == 1
+    db.close()
+
+
+def test_batched_rerecord_of_one_key_keeps_last_write(tmp_path):
+    """Two records of one key inside one unflushed interval must not
+    collide on child-table primary keys — last write wins, as it
+    would across flushes."""
+    db = ResultsDB(str(tmp_path / "r.db"), flush_interval=3600,
+                   clock=TickClock())
+    db.record(KEY_A, make_stats(counters={"l1_hit": 1}), source="a")
+    db.record(KEY_A, make_stats(counters={"l1_hit": 2}), source="b")
+    assert db.get_stats(KEY_A).counters["l1_hit"] == 2
+    assert db.get_run(KEY_A)["source"] == "b"
+    assert db.recorded == 1
+    db.close()
+
+
+def test_batched_close_flushes(tmp_path):
+    path = str(tmp_path / "r.db")
+    db = ResultsDB(path, flush_interval=3600, clock=TickClock())
+    db.record(KEY_A, make_stats(), source="serve")
+    db.close()
+    assert ResultsDB(path).count() == 1
+
+
+def test_batched_flush_max_caps_the_buffer(tmp_path):
+    db = ResultsDB(str(tmp_path / "r.db"), flush_interval=3600,
+                   flush_max=4, clock=TickClock())
+    for index in range(10):
+        db.record(f"{index:02d}" * 32, make_stats(), source="serve")
+    assert db.flushes == 2 and db.recorded == 8      # 2 full batches
+    assert db.flush() == 2                           # the remainder
+    db.close()

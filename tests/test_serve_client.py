@@ -180,3 +180,94 @@ def test_request_carries_protocol_version(sleeps):
         assert server.requests[0]["v"] == PROTOCOL_VERSION
     finally:
         server.close()
+
+
+# ---------------------------------------------------------------------------
+# persistent connections
+# ---------------------------------------------------------------------------
+
+class PersistentFakeServer:
+    """Serves many requests per connection, closing each connection
+    after ``per_connection`` replies (None = never) — the shape the
+    real server has, plus a way to fake idle-timeout hangups."""
+
+    def __init__(self, per_connection=None):
+        self.per_connection = per_connection
+        self.connections = 0
+        self.requests = 0
+        self._sock = socket.socket()
+        self._sock.setsockopt(socket.SOL_SOCKET,
+                              socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve,
+                                        daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            with conn:
+                stream = conn.makefile("rb")
+                served = 0
+                while self.per_connection is None or \
+                        served < self.per_connection:
+                    if not stream.readline():
+                        break
+                    self.requests += 1
+                    served += 1
+                    conn.sendall(
+                        json.dumps(OK_REPLY).encode() + b"\n")
+
+    def close(self):
+        self._sock.close()
+
+
+def test_requests_reuse_one_connection(sleeps):
+    server = PersistentFakeServer()
+    try:
+        with client_for(server.port, sleeps) as client:
+            for _ in range(10):
+                assert client.request({"op": "healthz"})["ok"]
+        assert client.connects == 1
+        assert server.requests == 10
+        # the server may take a beat to observe the accept
+        assert server.connections == 1
+        assert sleeps == []
+    finally:
+        server.close()
+
+
+def test_stale_connection_reconnects_without_backoff(sleeps):
+    """A connection the server dropped between requests is replaced
+    immediately — no sleep, no retry-budget charge."""
+    server = PersistentFakeServer(per_connection=2)
+    try:
+        client = client_for(server.port, sleeps)
+        for _ in range(6):
+            assert client.request({"op": "healthz"})["ok"]
+        assert client.connects == 3            # 2 requests per dial
+        assert client.retries_used == 0
+        assert sleeps == []
+        client.close()
+    finally:
+        server.close()
+
+
+def test_close_is_idempotent_and_reopens_on_demand(sleeps):
+    server = PersistentFakeServer()
+    try:
+        client = client_for(server.port, sleeps)
+        assert client.request({"op": "healthz"})["ok"]
+        client.close()
+        client.close()
+        assert client.request({"op": "healthz"})["ok"]
+        assert client.connects == 2
+        client.close()
+    finally:
+        server.close()

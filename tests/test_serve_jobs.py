@@ -228,3 +228,97 @@ def test_compact_shrinks_and_preserves(tmp_path, clock):
     assert [j.to_dict() for j in reopened.jobs()] == \
         [j.to_dict() for j in before]
     reopened.close()
+
+
+# ---------------------------------------------------------------------------
+# heartbeats
+# ---------------------------------------------------------------------------
+
+def test_heartbeat_extends_the_deadline(store, clock):
+    job = store.submit(SPEC, "key-a")
+    store.lease("w0", duration=60)
+    clock.advance(50)
+    store.heartbeat(job.id, "w0", duration=60)
+    clock.advance(50)                       # past the original deadline
+    assert store.lease("w1", duration=60) is None     # still held
+    clock.advance(61)
+    assert store.lease("w1", duration=60).id == job.id
+
+
+def test_heartbeat_rejects_lost_or_foreign_leases(store, clock):
+    job = store.submit(SPEC, "key-a")
+    store.lease("w0", duration=10)
+    with pytest.raises(ValueError, match="not leased by"):
+        store.heartbeat(job.id, "w1", duration=10)    # wrong worker
+    clock.advance(11)
+    store.lease("w1", duration=60)                    # stolen
+    with pytest.raises(ValueError, match="not leased by"):
+        store.heartbeat(job.id, "w0", duration=10)    # lost lease
+    with pytest.raises(KeyError):
+        store.heartbeat("j999999", "w0", duration=10)
+
+
+def test_heartbeats_are_not_journalled(tmp_path, clock):
+    """A dispatcher restart requeues leases regardless, so deadline
+    extensions have nothing to survive into — and the journal should
+    not grow by one line per heartbeat of a long simulation."""
+    path = str(tmp_path / "jobs.jsonl")
+    store = JobStore(path, clock=clock)
+    job = store.submit(SPEC, "key-a")
+    store.lease("w0", duration=60)
+    lines_before = len(open(path).read().splitlines())
+    for _ in range(100):
+        store.heartbeat(job.id, "w0", duration=60)
+    assert len(open(path).read().splitlines()) == lines_before
+    store.close()
+
+
+# ---------------------------------------------------------------------------
+# atomic backpressure
+# ---------------------------------------------------------------------------
+
+def test_submit_limit_refuses_then_admits(store):
+    assert store.submit(SPEC, "key-a", limit=2) is not None
+    assert store.submit(SPEC, "key-b", limit=2) is not None
+    assert store.submit(SPEC, "key-c", limit=2) is None   # full
+    # dedup wins over the limit: attaching costs no capacity
+    assert store.submit(SPEC, "key-a", limit=2).id == "j000001"
+    # finishing a job frees its slot
+    job = store.lease("w0", duration=60)
+    store.complete(job.id)
+    assert store.submit(SPEC, "key-c", limit=2) is not None
+
+
+# ---------------------------------------------------------------------------
+# startup auto-compaction
+# ---------------------------------------------------------------------------
+
+def _churn(path, clock, jobs: int) -> None:
+    store = JobStore(path, clock=clock, compact_threshold=None)
+    for index in range(jobs):
+        store.submit(SPEC, f"key-{index}")
+        job = store.lease("w0", duration=60)
+        store.complete(job.id)
+    store.close()
+
+
+def test_startup_compaction_over_threshold(tmp_path, clock, capsys):
+    path = str(tmp_path / "jobs.jsonl")
+    _churn(path, clock, jobs=6)            # 18 records, 6 live jobs
+    reopened = JobStore(path, clock=clock, compact_threshold=10)
+    message = capsys.readouterr().err
+    assert "compacted" in message and "12 stale record(s)" in message
+    assert len(open(path).read().splitlines()) == 6
+    assert len(reopened.jobs()) == 6       # nothing lost
+    reopened.close()
+
+
+def test_startup_compaction_below_threshold_is_skipped(tmp_path,
+                                                       clock, capsys):
+    path = str(tmp_path / "jobs.jsonl")
+    _churn(path, clock, jobs=2)            # only 4 stale records
+    lines = len(open(path).read().splitlines())
+    reopened = JobStore(path, clock=clock, compact_threshold=10)
+    assert "compacted" not in capsys.readouterr().err
+    assert len(open(path).read().splitlines()) == lines
+    reopened.close()
