@@ -146,7 +146,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         # so one consumer handles local and service results alike
         import json
         envelope = serve_schema.result_envelope(
-            spec, stats, key=serve_schema.spec_key(spec))
+            spec, stats, key=serve_schema.spec_key(spec),
+            sim_backend=gpu.machine.sim_backend)
         print(json.dumps(envelope, indent=2, sort_keys=True))
         return 0
     print(f"machine: {config.describe()}")
@@ -219,13 +220,26 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+#: where simulation time actually goes since the calendar-queue
+#: engine and packed-state rewrites: the event loop itself (pure or
+#: fast twin), the packed scheduler scan, and the packed cache probe.
+#: ``--cprofile`` prints a focused self-time table restricted to these
+#: files after the overall cumulative view, so the named hot symbols
+#: (``Engine.run`` / ``_next_cycle`` / ``_advance_window`` /
+#: ``SM._issue`` / ``ready_mask`` / ``CacheArray.lookup``) are
+#: readable without scrolling past harness frames.
+_HOT_MODULES = r"repro/(sim/engine|sim/_fast|gpu/sm|gpu/warp|mem/cache)\.py"
+
+
 def _cprofile_run(args: argparse.Namespace, workload: str) -> int:
     """Profile one simulation under cProfile and print the hotspots.
 
     Runs the paper's headline configuration (G-TSC under RC) for the
-    given workload with the requested preset/scale/seed, then prints
-    the top 25 functions by cumulative time — so perf work on the
-    simulator measures instead of guessing.
+    given workload with the requested preset/scale/seed under the
+    selected backend, then prints the top 25 functions by cumulative
+    time plus a self-time table restricted to the simulator's hot
+    modules — so perf work on the simulator measures instead of
+    guessing.
     """
     import cProfile
     import pstats
@@ -234,14 +248,27 @@ def _cprofile_run(args: argparse.Namespace, workload: str) -> int:
     config = config_factory(protocol=Protocol.GTSC,
                             consistency=Consistency.RC)
     kernel = build_workload(workload, scale=args.scale, seed=args.seed)
+    gpu = GPU(config, record_accesses=False)
     profiler = cProfile.Profile()
     profiler.enable()
-    stats = GPU(config, record_accesses=False).run(kernel)
+    stats = gpu.run(kernel)
     profiler.disable()
     print(f"cProfile: {workload} gtsc-rc on {config.describe()} "
-          f"({stats.cycles} cycles simulated)\n")
-    pstats.Stats(profiler, stream=sys.stdout) \
-        .sort_stats("cumulative").print_stats(25)
+          f"({stats.cycles} cycles simulated, "
+          f"backend={gpu.machine.sim_backend})\n")
+    profile = pstats.Stats(profiler, stream=sys.stdout)
+    profile.sort_stats("cumulative").print_stats(25)
+    print("simulator hot modules by self time "
+          "(engine event loop, scheduler scan, cache probe):")
+    profile.sort_stats("tottime").print_stats(_HOT_MODULES, 15)
+    # the engine's own instrumentation: how events were dispatched
+    counters = gpu.machine.engine.counters()
+    scheduled = counters.get("engine_events_scheduled", 0) or 1
+    print("engine hot loop:")
+    for name in sorted(counters):
+        print(f"  {name:28s} {counters[name]:>12d}")
+    print(f"  {'bucket-direct share':28s} "
+          f"{counters.get('engine_bucket_direct', 0) / scheduled:>11.1%}")
     return 0
 
 
@@ -605,6 +632,13 @@ def make_parser() -> argparse.ArgumentParser:
         description="Reproduction of G-TSC (HPCA 2018): simulate, "
                     "regenerate figures, build reports.",
     )
+    parser.add_argument(
+        "--backend", choices=["auto", "pure", "fast"], default=None,
+        help="simulation backend: 'pure' (reference engine), 'fast' "
+             "(the mypyc-compilable engine, interpreted if unbuilt), "
+             "or 'auto' (fast only when compiled; the default).  "
+             "Overrides REPRO_BACKEND; results are bit-identical "
+             "either way.")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_list = sub.add_parser("list", help="list workloads and experiments")
@@ -918,6 +952,9 @@ def make_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = make_parser().parse_args(argv)
+    if getattr(args, "backend", None) is not None:
+        from repro.sim.backend import select_backend
+        select_backend(args.backend)
     return args.fn(args)
 
 

@@ -26,6 +26,7 @@ Implements, per the paper:
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Set
 
 from repro.config import CombiningPolicy, VisibilityPolicy
@@ -115,27 +116,48 @@ class GTSCL1Controller(L1ControllerBase):
             )
             return True
 
-        line = self.cache.lookup(addr)
-        if line is not None and warp.ts <= line.rts:
-            counters["l1_hit"] += 1
-            if line.wts > warp.ts:
-                warp.ts = line.wts
-            if self.audit is not None:
-                self.audit.record(self.engine.now, "l1_load",
-                                  self.track, addr, line.wts, line.rts,
-                                  warp.ts, self.epoch, warp.uid)
-            self._record_load(warp, addr, line.version, self.engine.now,
-                              hit=True)
-            engine = self.engine
-            engine.post(engine.now + self._l1_latency, on_done)
-            return True
+        # tag probe + lease check over the packed columns (the Fig. 2
+        # hit test, as indexed int reads — the line object is never
+        # touched on this path).  The LRU touch fires on any tag
+        # match, hit or expired, exactly like lookup() did.
+        cache = self.cache
+        slot = cache._where.get(addr)
+        if slot is not None:
+            cache._tick += 1
+            cache._lru[slot] = cache._tick
+            if warp.ts <= cache.rts_col[slot]:
+                counters["l1_hit"] += 1
+                wts = cache.wts_col[slot]
+                if wts > warp.ts:
+                    warp.ts = wts
+                engine = self.engine
+                if self.audit is not None:
+                    self.audit.record(engine.now, "l1_load",
+                                      self.track, addr, wts,
+                                      cache.rts_col[slot],
+                                      warp.ts, self.epoch, warp.uid)
+                self._record_load(warp, addr, cache.version_col[slot],
+                                  engine.now, hit=True)
+                # Engine.post, inlined (one completion per L1 hit)
+                time = engine.now + self._l1_latency
+                seq = engine._seq
+                engine._seq = seq + 1
+                event = [time, seq, on_done, ()]
+                if time < engine._limit:
+                    bucket = time & engine._mask
+                    engine._buckets[bucket].append(event)
+                    engine._filled[bucket] = 1
+                else:
+                    heappush(engine._heap, event)
+                    engine.heap_deferred += 1
+                return True
 
         # miss: cold (no tag) or coherence (lease behind warp_ts)
         counters["l1_miss"] += 1
         stale_wts = 0
-        if line is not None:
+        if slot is not None:
             counters["l1_expired_miss"] += 1
-            stale_wts = line.wts
+            stale_wts = cache.wts_col[slot]
 
         waiter = LoadWaiter(warp, on_done, self.engine.now)
         entry = self.mshr.get(addr)
@@ -279,7 +301,8 @@ class GTSCL1Controller(L1ControllerBase):
             # meaningless now; refetch for whoever is still waiting
             self._refetch(msg.addr)
             return
-        line, _evicted = self.cache.allocate(msg.addr, _unpinned)
+        cache = self.cache
+        line, _evicted = cache.allocate(msg.addr, _unpinned)
         if line is None:
             # every way is pinned by pending stores: serve the waiters
             # straight from the response without caching the line
@@ -291,6 +314,10 @@ class GTSCL1Controller(L1ControllerBase):
             line.rts = max(line.rts, msg.rts)
             line.version = msg.version
             line.epoch = self.epoch
+            slot = cache._where[msg.addr]
+            cache.wts_col[slot] = line.wts
+            cache.rts_col[slot] = line.rts
+            cache.version_col[slot] = line.version
         self._drain(msg.addr, line.wts, line.rts, line.version,
                     installed=True)
 
@@ -305,6 +332,7 @@ class GTSCL1Controller(L1ControllerBase):
             self._refetch(msg.addr)
             return
         line.rts = max(line.rts, msg.rts)
+        self.cache.rts_col[self.cache._where[msg.addr]] = line.rts
         self._drain(msg.addr, line.wts, line.rts, line.version,
                     installed=True)
 
@@ -323,6 +351,11 @@ class GTSCL1Controller(L1ControllerBase):
                 line.rts = msg.rts
                 line.version = pending.version
                 line.epoch = self.epoch
+                cache = self.cache
+                slot = cache._where[msg.addr]
+                cache.wts_col[slot] = msg.wts
+                cache.rts_col[slot] = msg.rts
+                cache.version_col[slot] = pending.version
         if not stale:
             pending.warp.ts = max(pending.warp.ts, msg.wts)
             if self.audit is not None:
@@ -366,6 +399,11 @@ class GTSCL1Controller(L1ControllerBase):
                 line.rts = msg.rts
                 line.version = pending.version
                 line.epoch = self.epoch
+                cache = self.cache
+                slot = cache._where[msg.addr]
+                cache.wts_col[slot] = msg.wts
+                cache.rts_col[slot] = msg.rts
+                cache.version_col[slot] = pending.version
         if not stale:
             pending.warp.ts = max(pending.warp.ts, msg.wts)
             if self.audit is not None:

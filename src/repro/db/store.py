@@ -79,7 +79,8 @@ CREATE TABLE IF NOT EXISTS runs (
     cycles        INTEGER NOT NULL,
     timeseries_meta TEXT NOT NULL DEFAULT '',
     created_at    REAL NOT NULL,
-    updated_at    REAL NOT NULL
+    updated_at    REAL NOT NULL,
+    sim_backend   TEXT NOT NULL DEFAULT ''
 );
 CREATE INDEX IF NOT EXISTS idx_runs_point
     ON runs(workload, protocol, consistency);
@@ -103,13 +104,16 @@ CREATE TABLE IF NOT EXISTS timeseries (
 """
 
 #: columns of the ``runs`` table, in schema order (query helpers and
-#: the CLI build row dicts from this single list)
+#: the CLI build row dicts from this single list).  ``sim_backend``
+#: is deliberately last: pre-existing databases gain it via ALTER
+#: TABLE, which appends, and ``SELECT *`` must zip against the same
+#: order on both fresh and migrated files.
 RUN_COLUMNS = (
     "run_key", "workload", "protocol", "consistency", "preset",
     "scale", "seed", "spec", "config_desc", "config_hash",
     "git_commit", "repro_version", "host", "source", "status",
     "wall_time_s", "cycles", "timeseries_meta", "created_at",
-    "updated_at",
+    "updated_at", "sim_backend",
 )
 
 
@@ -141,6 +145,14 @@ class ResultsDB:
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.executescript(
             _SCHEMA.format(version=SCHEMA_VERSION))
+        # migrate databases created before the sim_backend column:
+        # ALTER TABLE appends, matching RUN_COLUMNS order
+        present = {row[1] for row in self._conn.execute(
+            "PRAGMA table_info(runs)")}
+        if "sim_backend" not in present:
+            self._conn.execute(
+                "ALTER TABLE runs ADD COLUMN sim_backend "
+                "TEXT NOT NULL DEFAULT ''")
         self._conn.commit()
         #: None = write-through (one transaction per record);
         #: a number = buffer and land one transaction per interval
@@ -181,7 +193,8 @@ class ResultsDB:
                wall_time_s: Optional[float] = None,
                config=None, config_hash: str = "",
                git_commit: Optional[str] = None,
-               host: Optional[str] = None) -> None:
+               host: Optional[str] = None,
+               sim_backend: str = "") -> None:
         """Upsert one finished run and its flattened statistics.
 
         ``spec`` is the canonical request spec when the producer knows
@@ -228,6 +241,7 @@ class ResultsDB:
             meta,
             now,
             now,
+            sim_backend,
         )
         stat_rows: List[tuple] = [
             (run_key, "counter", name, value, None)

@@ -14,7 +14,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 from repro.config import GPUConfig, NocTopology
 from repro.mem.dram import DRAMPartition
 from repro.mem.noc import MeshNetwork, Network
-from repro.sim.engine import Engine
+from repro.sim.backend import backend_name, engine_class
 from repro.stats.collector import StatsCollector
 from repro.validate.versions import AccessLog, VersionStore
 
@@ -31,7 +31,11 @@ class Machine:
                  record_accesses: bool = True,
                  obs: Optional["Observability"] = None) -> None:
         self.config = config
-        self.engine = Engine()
+        # backend resolution happens per construction (flag, then
+        # REPRO_BACKEND, then auto); both backends are bit-identical,
+        # so the name is provenance for results rows, never a run key
+        self.sim_backend = backend_name()
+        self.engine = engine_class()()
         self.stats = StatsCollector()
         self.versions = VersionStore()
         self.log = AccessLog(enabled=record_accesses)

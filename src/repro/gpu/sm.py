@@ -39,7 +39,13 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Deque, List, Optional
 
+try:  # optional: vectorizes the candidate-mask rebuild
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less fallback
+    _np = None
+
 from repro.config import Consistency, SchedulerPolicy
+from repro.sim.backend import ready_mask_fn as backend_ready_mask
 from repro.trace.compiled import (
     OP_ATOMIC,
     OP_BARRIER,
@@ -60,6 +66,45 @@ _BLOCKED_MEM = 1
 _BLOCKED_COMPUTE = 2
 _DONE = 3
 _BLOCKED_SYNC = 4   # waiting at an intra-CTA barrier
+
+# "no timed warp pending" sentinel for SM._min_wake (any real wake
+# time is a cycle count far below this)
+_NO_WAKE = 1 << 62
+
+
+def ready_mask_loop(cls_values: List[int], now: int) -> int:
+    """Reference per-slot loop for :func:`ready_mask` (and its tests).
+
+    A slot is a *candidate* when its packed classification says the
+    warp might issue at ``now``: dirty (-1), ready (0), or blocked
+    with a wake time the clock has reached.
+    """
+    mask = 0
+    bit = 1
+    for cls in cls_values:
+        if cls <= 0 or (cls >= 8 and now >= (cls >> 3) - 1):
+            mask |= bit
+        bit <<= 1
+    return mask
+
+
+def ready_mask(cls_values: List[int], now: int) -> int:
+    """Candidate bitmask over a packed classification array.
+
+    One vectorized compare over the packed ints when numpy is
+    importable, the plain per-slot loop otherwise — both return the
+    exact same mask (property-tested).  The SM calls this to rebuild
+    its incremental candidate mask after warp arrival/retirement; the
+    per-issue hot path maintains the mask incrementally instead.
+    """
+    if _np is not None:
+        a = _np.asarray(cls_values, dtype=_np.int64)
+        cond = (a <= 0) | ((a >= 8) & ((a >> 3) - 1 <= now))
+        mask = 0
+        for index in _np.nonzero(cond)[0]:
+            mask |= 1 << int(index)
+        return mask
+    return ready_mask_loop(cls_values, now)
 
 
 class SM:
@@ -82,6 +127,21 @@ class SM:
         # packed classification cache, parallel to `active`
         # (warp.slot indexes both; -1 = dirty, recompute on next scan)
         self._cls: List[int] = []
+        # incremental scan state over _cls:
+        #   _cand  — bitmask of candidate slots (dirty or known-ready);
+        #            -1 = rebuild from _cls via ready_mask() at the
+        #            next scan (set when slots are added or renumbered,
+        #            since -1 absorbs the |= bit updates in between)
+        #   _timed — bitmask of slots blocked with a wake time (may
+        #            carry stale bits; the scan drops them lazily)
+        #   _min_wake — lower bound on the earliest wake time among
+        #            _timed slots; the scan only walks _timed once the
+        #            clock reaches it
+        self._cand = -1
+        self._timed = 0
+        self._min_wake = _NO_WAKE
+        # backend-resolved rebuild scan (identical masks either way)
+        self._ready_mask = backend_ready_mask()
         self.retired = 0
         self._rr = 0
         self._greedy = machine.config.scheduler is SchedulerPolicy.GTO
@@ -127,6 +187,7 @@ class SM:
                 base = len(self.active)
                 self.active.extend(block)
                 self._cls.extend([-1] * len(block))
+                self._cand = -1            # new slots: rebuild the mask
                 for slot, member in enumerate(block, base):
                     member.slot = slot
                 self._cta_members.setdefault(cta_id, []).extend(block)
@@ -149,6 +210,7 @@ class SM:
         active = self.active
         active.pop(slot)
         self._cls.pop(slot)
+        self._cand = -1               # slots renumbered: rebuild masks
         for index in range(slot, len(active)):
             active[index].slot = index
         members = self._cta_members.get(warp.cta_id)
@@ -217,6 +279,7 @@ class SM:
             return cls
         cls = self._classify_fresh(warp)
         self._cls[warp.slot] = cls
+        self._cand = -1       # cold path: let the next scan resync
         return cls
 
     def _classify_fresh(self, warp: Warp) -> int:
@@ -292,12 +355,67 @@ class SM:
         fresh = self._classify_fresh
         cls_arr = self._cls
 
-        # -- select the next warp, per the config policy ---------------
-        # The scans walk the packed int list; a warp object is touched
-        # only to reclassify a dirty/expired entry (_READY is the bare
+        # -- candidate mask upkeep -------------------------------------
+        # The scans below walk only the candidate slots (dirty, ready,
+        # or timed-blocked past their wake time) instead of the whole
+        # packed list; a warp object is touched only to reclassify a
+        # candidate or to issue from the chosen one (_READY is the bare
         # value 0: ready warps never carry wake bits, so `cls == 0` is
-        # the ready test).
+        # the ready test).  Mask state lives in locals for the whole
+        # selection phase and is flushed once per exit path — nothing
+        # called before the flush reads it (_classify_fresh never
+        # touches the masks; external |= sites only run between engine
+        # callbacks).
+        cand = self._cand
+        timed = self._timed
+        min_wake = self._min_wake
+        if cand < 0:
+            # slots were added/renumbered: rebuild from the packed
+            # classifications (one vectorized compare when numpy is in)
+            cand = self._ready_mask(cls_arr, now)
+            timed = 0
+            min_wake = _NO_WAKE
+            for slot in range(count):
+                cls = cls_arr[slot]
+                if cls >= 8:
+                    timed |= 1 << slot
+                    wake_time = (cls >> 3) - 1
+                    if wake_time < min_wake:
+                        min_wake = wake_time
+        elif now >= min_wake:
+            # the clock reached a timed slot's wake time: fold the
+            # expired slots into the candidate set (pure reads — they
+            # are reclassified only when the scan visits them, in slot
+            # order, exactly as the full walk used to)
+            t = timed
+            keep = 0
+            expired = 0
+            while t:
+                low = t & -t
+                t -= low
+                cls = cls_arr[low.bit_length() - 1]
+                if cls >= 8:     # stale timed bits are dropped here
+                    keep |= low
+                    if now >= (cls >> 3) - 1:
+                        expired |= low
+            timed = keep
+            if expired:
+                cand |= expired
+            else:
+                # nothing due: raise the gate to the earliest pending
+                # wake so quiet scans skip the walk entirely
+                min_wake = _NO_WAKE
+                t = keep
+                while t:
+                    low = t & -t
+                    t -= low
+                    wake_time = (cls_arr[low.bit_length() - 1] >> 3) - 1
+                    if wake_time < min_wake:
+                        min_wake = wake_time
+
+        # -- select the next warp, per the config policy ---------------
         chosen = None
+        m = cand
         if self._greedy:
             # greedy-then-oldest: stick with the current warp while it
             # can issue, else fall back to the oldest ready warp.  A
@@ -309,24 +427,49 @@ class SM:
                 cls = cls_arr[slot]
                 if cls < 0 or (cls >= 8 and now >= (cls >> 3) - 1):
                     cls = cls_arr[slot] = fresh(last)
+                    if cls != 0:
+                        cand &= ~(1 << slot)
+                        if cls >= 8:
+                            timed |= 1 << slot
+                            wake_time = (cls >> 3) - 1
+                            if wake_time < min_wake:
+                                min_wake = wake_time
+                        m = cand
                 if cls == 0:
                     chosen = last
             if chosen is None:
-                for slot in range(count):  # uid-ordered by construction
+                while m:       # uid-ordered by construction
+                    low = m & -m
+                    m -= low
+                    slot = low.bit_length() - 1
                     cls = cls_arr[slot]
                     if cls < 0 or (cls >= 8 and now >= (cls >> 3) - 1):
                         cls = cls_arr[slot] = fresh(active[slot])
                     if cls == 0:
                         chosen = active[slot]
                         break
+                    # discovered blocked (or a stale bit): retire it
+                    # from the candidate set
+                    cand &= ~low
+                    if cls >= 8:
+                        timed |= low
+                        wake_time = (cls >> 3) - 1
+                        if wake_time < min_wake:
+                            min_wake = wake_time
         else:
             rr = self._rr
             if rr >= count:  # warps retired since the last update
                 rr %= count
-            for k in range(count):
-                slot = rr + k
-                if slot >= count:
-                    slot -= count
+            while m:
+                # next candidate at or after rr, wrapping — the same
+                # circular visit order as the full round-robin walk
+                upper = m >> rr
+                if upper:
+                    low = (upper & -upper) << rr
+                else:
+                    low = m & -m
+                m -= low
+                slot = low.bit_length() - 1
                 cls = cls_arr[slot]
                 if cls < 0 or (cls >= 8 and now >= (cls >> 3) - 1):
                     cls = cls_arr[slot] = fresh(active[slot])
@@ -335,20 +478,33 @@ class SM:
                     slot += 1
                     self._rr = 0 if slot >= count else slot
                     break
+                cand &= ~low
+                if cls >= 8:
+                    timed |= low
+                    wake_time = (cls >> 3) - 1
+                    if wake_time < min_wake:
+                        min_wake = wake_time
         if chosen is None:
             # no warp can issue: record why and arrange a wake-up.  The
-            # failed scan above just classified every active warp at
-            # `now`, so the cached cls values are fresh — read them
-            # directly instead of re-deriving.
+            # failed scan above visited every candidate and everything
+            # else was cached-blocked, so the cls values are all fresh
+            # at `now` — read them directly instead of re-deriving.
             wake: Optional[int] = None
             any_mem = False
+            timed = 0
+            bit = 1
             for cls in cls_arr:
                 if cls & 7 == _BLOCKED_MEM:
                     any_mem = True
                 if cls >= 8:
+                    timed |= bit
                     wake_time = (cls >> 3) - 1
                     if wake is None or wake_time < wake:
                         wake = wake_time
+                bit <<= 1
+            self._cand = cand
+            self._timed = timed
+            self._min_wake = wake if wake is not None else _NO_WAKE
             self._sleep_start = now
             self._sleep_mem = any_mem
             if wake is not None:
@@ -360,6 +516,9 @@ class SM:
         # -- issue one instruction from the chosen warp ----------------
         warp = chosen
         cls_arr[warp.slot] = -1
+        self._cand = cand | (1 << warp.slot)
+        self._timed = timed
+        self._min_wake = min_wake
         if warp.pending_addrs is not None:
             self._issue_mem_accesses(warp)
         else:
@@ -406,6 +565,7 @@ class SM:
     # ------------------------------------------------------------------
     def _issue_mem_accesses(self, warp: Warp) -> None:
         self._cls[warp.slot] = -1
+        self._cand |= 1 << warp.slot
         pending = warp.pending_addrs
         op = warp.pending_op
         l1 = self.l1
@@ -457,7 +617,10 @@ class SM:
             self._barrier_arrived[cta_id] = set()
             self._counters["barrier_releases"] += 1
             cls_arr = self._cls
+            released = 0
             for member in alive:
                 member.barrier_blocked = False
                 cls_arr[member.slot] = -1
+                released |= 1 << member.slot
+            self._cand |= released
             self._schedule_issue(0)

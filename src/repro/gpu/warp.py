@@ -103,6 +103,7 @@ class Warp:
         self.outstanding_loads -= 1
         sm = self.sm
         sm._cls[self.slot] = -1
+        sm._cand |= 1 << self.slot
         if self.pc >= self.length:
             sm._check_retire(self)
         if sm.active:
@@ -119,6 +120,7 @@ class Warp:
         self.outstanding_stores -= 1
         sm = self.sm
         sm._cls[self.slot] = -1
+        sm._cand |= 1 << self.slot
         if self.pc >= self.length:
             sm._check_retire(self)
         if sm.active:

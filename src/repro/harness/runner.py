@@ -74,6 +74,9 @@ class ExperimentRunner:
         #: engine hot-loop counters summed over fresh simulations
         #: (engine_* names; cached points contribute nothing)
         self.engine_counters: Dict[str, int] = {}
+        #: backend name the most recent fresh simulation resolved
+        #: ("" until one runs); recorded as provenance, never a key
+        self.last_sim_backend = ""
         #: emit live heartbeat lines to stderr during batch prefetches
         self.progress = progress
 
@@ -119,6 +122,7 @@ class ExperimentRunner:
         kernel = self._kernel(workload)
         self.simulations_run += 1
         gpu = GPU(config, record_accesses=False)
+        self.last_sim_backend = gpu.machine.sim_backend
         stats = gpu.run(kernel)
         totals = self.engine_counters
         for name, value in gpu.machine.engine.counters().items():
@@ -137,6 +141,7 @@ class ExperimentRunner:
         stats = None
         wall_time = None
         source = "runner-cache"
+        backend = ""  # disk-cache hits ran no engine this process
         if self.disk_cache is not None:
             stats = self.disk_cache.get(digest)
         if stats is None:
@@ -144,11 +149,13 @@ class ExperimentRunner:
             stats = self._simulate(workload, config)
             wall_time = time.perf_counter() - started
             source = "runner"
+            backend = self.last_sim_backend
             if self.disk_cache is not None:
                 self.disk_cache.put(digest, stats)
         self._cache[key] = stats
         self._record_run(digest, stats, key, config,
-                         wall_time_s=wall_time, source=source)
+                         wall_time_s=wall_time, source=source,
+                         sim_backend=backend)
         return stats
 
     # ------------------------------------------------------------------
@@ -179,7 +186,8 @@ class ExperimentRunner:
     def _record_run(self, digest: str, stats: RunStats, point: Point,
                     config: GPUConfig,
                     wall_time_s: Optional[float] = None,
-                    source: str = "runner") -> None:
+                    source: str = "runner",
+                    sim_backend: str = "") -> None:
         """Upsert one resolved point into the results DB (if any).
 
         Database trouble (read-only disk, concurrent schema upgrade)
@@ -192,7 +200,7 @@ class ExperimentRunner:
             self.results_db.record(
                 digest, stats, spec=self.point_spec(point),
                 config=config, source=source,
-                wall_time_s=wall_time_s)
+                wall_time_s=wall_time_s, sim_backend=sim_backend)
         except Exception as error:
             warnings.warn(
                 f"results-db record failed for {digest[:12]}…: "

@@ -104,12 +104,14 @@ class Network:
         # Engine.post, inlined: every message crosses this line, and
         # arrival >= now by construction, so the fast path applies.
         # Mirrors the engine's bucket/heap split: in-window arrivals
-        # are a plain list append.
+        # are a plain list append plus the occupancy-byte set.
         seq = engine._seq
         engine._seq = seq + 1
         event = [arrival, seq, deliver, args]
         if arrival < engine._limit:
-            engine._buckets[arrival & engine._mask].append(event)
+            slot = arrival & engine._mask
+            engine._buckets[slot].append(event)
+            engine._filled[slot] = 1
         else:
             heappush(engine._heap, event)
             engine.heap_deferred += 1
@@ -228,7 +230,9 @@ class MeshNetwork:
         engine._seq = seq + 1
         event = [arrival, seq, deliver, args]
         if arrival < engine._limit:
-            engine._buckets[arrival & engine._mask].append(event)
+            slot = arrival & engine._mask
+            engine._buckets[slot].append(event)
+            engine._filled[slot] = 1
         else:
             heappush(engine._heap, event)
             engine.heap_deferred += 1

@@ -168,16 +168,33 @@ class TCL1Controller(L1ControllerBase):
              on_done: Callable[[], None]) -> bool:
         counters = self._counters
         counters["l1_access"] += 1
-        now = self.engine.now
-        line = self.cache.lookup(addr)
-        if line is not None and now < line.expiry:
-            counters["l1_hit"] += 1
-            self._record_load(warp, addr, line.version, now, hit=True)
-            self.engine.post(now + self._l1_latency, on_done)
-            return True
+        engine = self.engine
+        now = engine.now
+        cache = self.cache
+        slot = cache._where.get(addr)
+        if slot is not None:
+            cache._tick += 1
+            cache._lru[slot] = cache._tick
+            if now < cache.expiry_col[slot]:
+                counters["l1_hit"] += 1
+                self._record_load(warp, addr, cache.version_col[slot],
+                                  now, hit=True)
+                # Engine.post, inlined (one completion per L1 hit)
+                time = now + self._l1_latency
+                seq = engine._seq
+                engine._seq = seq + 1
+                event = [time, seq, on_done, ()]
+                if time < engine._limit:
+                    bucket = time & engine._mask
+                    engine._buckets[bucket].append(event)
+                    engine._filled[bucket] = 1
+                else:
+                    heappush(engine._heap, event)
+                    engine.heap_deferred += 1
+                return True
 
         counters["l1_miss"] += 1
-        if line is not None:
+        if slot is not None:
             # tag matched but the lease ran out: the self-invalidation
             # ("coherence") miss that physical time forces on TC
             counters["l1_expired_miss"] += 1
@@ -251,10 +268,14 @@ class TCL1Controller(L1ControllerBase):
                                    {"addr": msg.addr,
                                     "expiry": msg.expiry})
         else:
-            line, _evicted = self.cache.allocate(msg.addr)
+            cache = self.cache
+            line, _evicted = cache.allocate(msg.addr)
             if line is not None:
                 line.version = msg.version
                 line.expiry = msg.expiry
+                slot = cache._where[msg.addr]
+                cache.version_col[slot] = msg.version
+                cache.expiry_col[slot] = msg.expiry
         engine = self.engine
         now = engine.now
         for waiter in self.mshr.drain(msg.addr):
@@ -359,7 +380,7 @@ class TCL2Bank(L2BankBase):
 
     __slots__ = ("strong", "_blocked", "_handlers", "_tc_lease",
                  "_lease_gate", "_lease_free", "_set_lines", "_free_ways",
-                 "_expiry", "_where_map", "_assoc")
+                 "_expiry", "_where_map", "_assoc", "_set_min")
 
     def __init__(self, bank_id: int, machine: "Machine") -> None:
         super().__init__(bank_id, machine)
@@ -384,16 +405,20 @@ class TCL2Bank(L2BankBase):
         self._set_lines = [lines[s * assoc:(s + 1) * assoc]
                            for s in range(cache.num_sets)]
         self._free_ways = cache._free
-        # packed per-slot lease-expiry mirror: lets the retry probe
-        # reject a still-pinned set with one C-level min() instead of a
-        # way scan.  Expiry is written in exactly two places (_read's
-        # grant, _install_fill's reset), both of which update the
-        # mirror; flushed lines go stale in it, but a flushed set has
-        # free ways, which the probe checks first, and refilling the
-        # set rewrites every occupied slot on the way in.
-        self._expiry = [0] * (cache.num_sets * assoc)
+        # the retry probe reads lease expiry straight from the cache's
+        # packed column (dual-written at _read's grant; allocate zeroes
+        # it on slot reuse), so a still-pinned set is rejected with one
+        # C-level min() instead of a way scan
+        self._expiry = cache.expiry_col
         self._where_map = cache._where
         self._assoc = assoc
+        # cached lower bound on each set's minimum lease expiry: while
+        # it exceeds `now`, every way is provably still leased and the
+        # retry probe is O(1).  Grants only raise slot expiries (the
+        # bound stays valid); installs zero the new line's expiry and
+        # drop the bound with it; the exact min refreshes the bound
+        # whenever the probe computes it anyway.
+        self._set_min = [0] * cache.num_sets
 
     def _lease_expired_and_unblocked(self, line: CacheLine) -> bool:
         return (line.expiry <= self._lease_gate
@@ -461,6 +486,7 @@ class TCL2Bank(L2BankBase):
         gwct = expiry if expiry > now else now
         line.version = msg.version
         line.dirty = True
+        self.cache.version_col[self._where_map[msg.addr]] = msg.version
         self.machine.versions.record_wts(msg.addr, msg.version, now)
         self._reply(msg.sm, TCWrAck(msg.addr, msg.sm, gwct,
                                     version=msg.version))
@@ -508,6 +534,7 @@ class TCL2Bank(L2BankBase):
         old_version = line.version
         line.version = msg.version
         line.dirty = True
+        self.cache.version_col[self._where_map[msg.addr]] = msg.version
         self.machine.versions.record_wts(msg.addr, msg.version, now)
         self._reply(msg.sm, TCAtmAck(msg.addr, msg.sm, old_version, gwct,
                                      version=msg.version))
@@ -528,18 +555,26 @@ class TCL2Bank(L2BankBase):
         if not self._free_ways[set_index] \
                 and addr not in self._where_map:
             now = self.engine.now
-            base = set_index * self._assoc
-            if min(self._expiry[base:base + self._assoc]) > now:
-                pinned = True      # every lease still running
+            if self._set_min[set_index] > now:
+                pinned = True      # every lease provably still running
             else:
-                # some lease has expired; the way scan decides whether
-                # the expired line is also unblocked
-                blocked = self._blocked
-                pinned = True
-                for line in self._set_lines[set_index]:
-                    if line.expiry <= now and line.addr not in blocked:
-                        pinned = False
-                        break
+                base = set_index * self._assoc
+                lease_min = min(self._expiry[base:base + self._assoc])
+                if lease_min > now:
+                    # every lease still running; remember the exact min
+                    # so the remaining retries of this stall are O(1)
+                    self._set_min[set_index] = lease_min
+                    pinned = True
+                else:
+                    # some lease has expired; the way scan decides
+                    # whether the expired line is also unblocked
+                    blocked = self._blocked
+                    pinned = True
+                    for line in self._set_lines[set_index]:
+                        if line.expiry <= now \
+                                and line.addr not in blocked:
+                            pinned = False
+                            break
             if pinned:
                 # still pinned: book one stall interval and re-enter.
                 # engine.schedule, inlined — this is the hottest
@@ -554,7 +589,9 @@ class TCL2Bank(L2BankBase):
                 engine._seq = seq + 1
                 event = [time, seq, self._retry_fill, (addr,)]
                 if time < engine._limit:
-                    engine._buckets[time & engine._mask].append(event)
+                    slot = time & engine._mask
+                    engine._buckets[slot].append(event)
+                    engine._filled[slot] = 1
                 else:
                     heappush(engine._heap, event)
                     engine.heap_deferred += 1
@@ -575,6 +612,7 @@ class TCL2Bank(L2BankBase):
             self._writeback(evicted)
         line.version = self._memory_version(addr)
         line.dirty = False
-        line.expiry = 0
-        self._expiry[self._where_map[addr]] = 0
+        line.expiry = 0    # allocate already zeroed the expiry column
+        self.cache.version_col[self._where_map[addr]] = line.version
+        self._set_min[addr % self.cache.num_sets] = 0
         return line

@@ -25,6 +25,7 @@ from typing import Dict, Optional
 
 from repro.config import Consistency, GPUConfig, Protocol
 from repro.harness.cache import run_key
+from repro.sim.backend import backend_name
 from repro.stats.collector import RunStats
 from repro.workloads import ALL_NAMES
 
@@ -130,7 +131,8 @@ def spec_key(spec: Dict) -> str:
 def result_envelope(spec: Dict, stats: RunStats, *, key: str,
                     job_id: Optional[str] = None,
                     cached: bool = False,
-                    coalesced: bool = False) -> Dict:
+                    coalesced: bool = False,
+                    sim_backend: Optional[str] = None) -> Dict:
     """The canonical result message for one finished simulation.
 
     ``cached``/``coalesced`` describe how the service satisfied the
@@ -138,6 +140,13 @@ def result_envelope(spec: Dict, stats: RunStats, *, key: str,
     the exact :meth:`RunStats.to_dict` payload, so
     ``RunStats.from_dict(envelope["stats"])`` round-trips the result
     bit-identically to the simulation that produced it.
+
+    ``sim_backend`` names the engine backend ("pure" or "fast") that
+    produced ``stats``.  Callers who held the machine pass its
+    resolved name; otherwise the field reports this process's own
+    resolution, which matches the worker's because backend selection
+    is environment-driven and both backends are bit-identical — the
+    field is provenance, never part of the cache identity.
     """
     envelope = {
         "v": PROTOCOL_VERSION,
@@ -146,6 +155,8 @@ def result_envelope(spec: Dict, stats: RunStats, *, key: str,
         "key": key,
         "cached": cached,
         "coalesced": coalesced,
+        "sim_backend": (backend_name() if sim_backend is None
+                        else sim_backend),
         "stats": stats.to_dict(),
     }
     if job_id is not None:

@@ -1,4 +1,25 @@
-"""The discrete-event simulation engine.
+"""Compilable twin of :mod:`repro.sim.engine` (the ``fast`` backend).
+
+This module is byte-for-byte the same algorithm as ``engine.py`` —
+same calendar/bucket queue, same heap overflow, same lazy-cancel
+accounting — kept in a separate module so ``setup.py`` can compile it
+with mypyc (``REPRO_BUILD_FAST=1 pip install -e .``) without touching
+the always-interpreted reference engine.  It must stay semantically
+identical: the golden-equivalence suite runs every protocol under
+both backends and diffs the results bit-for-bit, interpreted or not.
+
+Interpreted, this module is just a second pure-Python engine (that is
+the silent-fallback path when the extension was never built);
+compiled, ``__file__`` loses its ``.py`` suffix, which is how
+:mod:`repro.sim.backend` detects a real extension.  It also carries a
+typed copy of the scheduler ready-scan (:func:`ready_mask_loop`) so
+the SM's candidate-mask rebuild rides the compiled module too.
+
+The external attribute surface (``_seq``, ``_buckets``, ``_mask``,
+``_limit``, ``_heap``, ``_filled``, ``heap_deferred``, ``hook``,
+``now``, ``events_fired``) is load-bearing: the NoC and protocol
+controllers inline :meth:`Engine.post` at their hottest call sites,
+so both engines must expose exactly these names.
 
 Every timing component in the reproduction (SMs, NoC links, L2 banks,
 DRAM partitions) advances time by scheduling callbacks on a single
@@ -628,3 +649,23 @@ class Engine:
         heapify(live)
         self._heap = live
         self.compactions += 1
+
+
+# ---------------------------------------------------------------------------
+# scheduler ready-scan (compiled copy of repro.gpu.sm.ready_mask_loop)
+# ---------------------------------------------------------------------------
+def ready_mask_loop(cls_values: List[int], now: int) -> int:
+    """Candidate bitmask over a packed warp-classification array.
+
+    Must compute exactly the mask of :func:`repro.gpu.sm.ready_mask`:
+    a slot is a candidate when dirty (-1), ready (0), or blocked with
+    a wake time the clock has reached.  The SM resolves which copy to
+    call once per construction via :mod:`repro.sim.backend`.
+    """
+    mask = 0
+    bit = 1
+    for cls in cls_values:
+        if cls <= 0 or (cls >= 8 and now >= (cls >> 3) - 1):
+            mask |= bit
+        bit <<= 1
+    return mask

@@ -1,0 +1,117 @@
+"""Simulation backend selection: pure-Python vs the compiled engine.
+
+Two engines implement the same calendar/heap event queue:
+
+* ``pure``  — :mod:`repro.sim.engine`, always available, the
+  reference implementation.
+* ``fast``  — :mod:`repro.sim._fast`, the same algorithm in a module
+  that ``setup.py`` can compile with mypyc.  Interpreted it behaves
+  (and performs) like ``pure``; compiled it is a C extension.
+
+Both produce bit-identical simulations — goldens, audit replay and
+observability streams included — which the golden-equivalence suite
+enforces.  Selection therefore never appears in run keys, config
+digests or :class:`RunStats`; it is provenance only (the results
+database and the serve envelope record which backend produced a row).
+
+Resolution order, first match wins:
+
+1. :func:`select_backend` (the ``--backend`` CLI flag),
+2. the ``REPRO_BACKEND`` environment variable,
+3. the default, ``auto``.
+
+``pure`` always means the reference engine.  ``fast`` means the
+``_fast`` module whether or not it was compiled (its interpreted form
+is still the same algorithm), degrading silently to ``pure`` only if
+the module cannot be imported at all (e.g. a broken extension build).
+``auto`` prefers ``fast`` only when it is actually compiled — an
+interpreted twin adds nothing, so unbuilt installs run ``pure``
+without ever noticing a backend layer exists.
+
+The environment variable is read at every resolution (not import
+time), so one process can compare backends by flipping it between
+:class:`repro.gpu.machine.Machine` constructions.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional
+
+_VALID = ("auto", "pure", "fast")
+
+# process-wide override installed by the CLI; beats the environment
+_forced: Optional[str] = None
+
+
+def select_backend(name: Optional[str]) -> None:
+    """Force the backend for this process (the ``--backend`` flag).
+
+    ``None`` clears the override, returning resolution to the
+    environment.  Raises ``ValueError`` for unknown names.
+    """
+    global _forced
+    if name is not None:
+        name = name.strip().lower()
+        if name not in _VALID:
+            raise ValueError(
+                f"unknown backend {name!r}; choose from {_VALID}")
+    _forced = name
+
+
+def requested_backend() -> str:
+    """The *requested* backend: flag, else environment, else auto."""
+    if _forced is not None:
+        return _forced
+    value = os.environ.get("REPRO_BACKEND", "").strip().lower()
+    if value in _VALID:
+        return value
+    return "auto"
+
+
+def _fast_module():
+    try:
+        from repro.sim import _fast
+        return _fast
+    except Exception:  # pragma: no cover - broken extension build
+        return None
+
+
+def is_compiled() -> bool:
+    """Whether the ``fast`` backend is a real compiled extension."""
+    mod = _fast_module()
+    if mod is None:
+        return False
+    origin = getattr(mod, "__file__", "") or ""
+    return not origin.endswith(".py")
+
+
+def backend_name() -> str:
+    """The *resolved* backend: ``"pure"`` or ``"fast"``."""
+    req = requested_backend()
+    if req == "pure":
+        return "pure"
+    if req == "fast":
+        return "fast" if _fast_module() is not None else "pure"
+    return "fast" if is_compiled() else "pure"
+
+
+def engine_class() -> type:
+    """The Engine class for the resolved backend."""
+    if backend_name() == "fast":
+        return _fast_module().Engine
+    from repro.sim.engine import Engine
+    return Engine
+
+
+def ready_mask_fn() -> Callable[[List[int], int], int]:
+    """The scheduler ready-scan for the resolved backend.
+
+    The SM resolves this once per construction; both copies compute
+    the identical candidate mask (property-tested), so this choice —
+    like the engine class — can never change simulated outcomes.
+    """
+    if backend_name() == "fast":
+        return _fast_module().ready_mask_loop
+    from repro.gpu.sm import ready_mask
+    return ready_mask

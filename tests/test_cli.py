@@ -194,9 +194,18 @@ def test_sweep_rejects_unknown_metric(capsys):
 
 
 def test_profile_cprofile_prints_hotspots(capsys):
+    from repro.sim.backend import backend_name
+
     code, out, _ = run_cli(capsys, "profile", "BFS", "--preset", "tiny",
                            "--scale", "0.3", "--cprofile", "--no-cache")
     assert code == 0
     assert "cProfile: BFS gtsc-rc" in out
+    assert f"backend={backend_name()}" in out
     assert "cumulative" in out            # pstats sort header
-    assert "repro/sim/engine.py" in out   # the run loop shows up
+    # the run loop shows up under whichever backend resolved
+    engine_file = ("repro/sim/_fast.py" if backend_name() == "fast"
+                   else "repro/sim/engine.py")
+    assert engine_file in out
+    assert "simulator hot modules by self time" in out
+    assert "engine hot loop:" in out
+    assert "engine_events_fired" in out
