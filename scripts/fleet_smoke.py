@@ -3,15 +3,19 @@
 
 Boots ``repro serve --jobs 0`` (a pure dispatcher: it journals,
 leases, and records, but never simulates) plus two ``repro serve
-worker --connect`` subprocesses, submits a small 6-point matrix from
-concurrent clients, and asserts the fleet actually did the work:
+worker --connect`` subprocesses, submits a small 7-point matrix (six
+single-GPU seeds plus one 4-GPU cluster point) from concurrent
+clients, and asserts the fleet actually did the work:
 
 * every submit resolves ok with stats;
 * every job was executed by a fleet worker — the ``--jobs 0``
   dispatcher never simulates;
-* the journal drains to 6 DONE jobs, nothing pending/leased/failed;
-* all 6 results landed in the shared content-addressed store;
-* all 6 runs landed in the sqlite results database with
+* the 4-GPU point keeps its machine shape end to end: ``n_gpus=4``
+  in the result envelope, interlink traffic in its counters, and
+  ``n_gpus=4`` on its database row;
+* the journal drains to 7 DONE jobs, nothing pending/leased/failed;
+* all 7 results landed in the shared content-addressed store;
+* all 7 runs landed in the sqlite results database with
   ``source="serve"``.
 
 Shutdown is part of the smoke: workers get SIGTERM and must exit 0,
@@ -91,6 +95,11 @@ def main() -> None:
             specs = [validate_spec({
                 "workload": "HS", "preset": "tiny", "scale": 0.1,
                 "seed": seed}) for seed in SEEDS]
+            # plus one 4-GPU cluster point: the fleet must carry the
+            # machine-shape override through worker, envelope, and db
+            specs.append(validate_spec({
+                "workload": "PCX", "preset": "tiny", "scale": 0.1,
+                "seed": 2018, "overrides": {"n_gpus": 4}}))
             replies: list[dict | None] = [None] * len(specs)
 
             def submit(index: int) -> None:
@@ -115,6 +124,17 @@ def main() -> None:
                     fail(f"submit {index} has no stats: {reply}",
                          procs)
             print(f"{len(specs)} submits resolved with stats")
+
+            cluster = replies[-1]
+            if cluster.get("n_gpus") != 4:
+                fail(f"cluster envelope lost its n_gpus stamp: "
+                     f"{cluster.get('n_gpus')}", procs)
+            interlink = cluster["stats"]["counters"].get(
+                "interlink_bytes", 0)
+            if interlink <= 0:
+                fail("4-GPU point moved no interlink traffic", procs)
+            print(f"4-GPU point: n_gpus=4 in the envelope, "
+                  f"{interlink} interlink byte(s)")
 
             jobs = client.jobs()
             executed_by = {job.get("worker") for job in
@@ -169,7 +189,14 @@ def main() -> None:
             if len(rows) != len(specs):
                 fail(f"expected {len(specs)} serve rows in "
                      f"{db_path}, found {len(rows)}")
-            print(f"results db holds {len(rows)} serve run(s)")
+            cluster_rows = [row for row in rows
+                            if row.get("n_gpus") == 4]
+            if len(cluster_rows) != 1 or \
+                    cluster_rows[0]["workload"] != "PCX":
+                fail(f"db lost the 4-GPU provenance: "
+                     f"{[(r['workload'], r.get('n_gpus')) for r in rows]}")
+            print(f"results db holds {len(rows)} serve run(s), "
+                  f"1 at n_gpus=4")
             print("OK")
         finally:
             for proc in procs:

@@ -29,13 +29,14 @@ import sys
 from typing import List, Optional
 
 from repro.config import Consistency, GPUConfig, Protocol
-from repro.gpu.gpu import GPU
+from repro.gpu.gpu import make_gpu
 from repro.harness import experiments
 from repro.harness.report import EXPECTATIONS, build_report
 from repro.harness.runner import ExperimentRunner
 from repro.harness.tables import format_result
 from repro.validate import check_gtsc_log
-from repro.workloads import ALL_NAMES, WORKLOADS, build_workload
+from repro.workloads import ALL_NAMES, MULTIGPU_NAMES, \
+    WORKLOADS, build_workload
 
 EXPERIMENT_FNS = {e.experiment_id: e.fn for e in EXPECTATIONS}
 
@@ -96,9 +97,10 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
 
 def cmd_list(_args: argparse.Namespace) -> int:
     print("workloads:")
-    for name in ALL_NAMES:
+    for name in ALL_NAMES + MULTIGPU_NAMES:
         spec = WORKLOADS[name]
-        tag = "coherent" if spec.requires_coherence else "no-coh  "
+        tag = ("multigpu" if spec.multigpu
+               else "coherent" if spec.requires_coherence else "no-coh  ")
         print(f"  {name:4s} [{tag}] {spec.description}")
     print("\nexperiments:")
     for expectation in EXPECTATIONS:
@@ -139,7 +141,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     config = serve_schema.spec_config(spec)
     kernel = build_workload(args.workload, scale=args.scale,
                             seed=args.seed)
-    gpu = GPU(config, record_accesses=args.check)
+    gpu = make_gpu(config, record_accesses=args.check)
     stats = gpu.run(kernel)
     if args.json:
         # the same versioned envelope the serve protocol answers with,
@@ -169,17 +171,15 @@ def cmd_trace(args: argparse.Namespace) -> int:
         validate_chrome_trace
     from repro.validate import CoherenceViolation
 
-    config_factory = getattr(GPUConfig, args.preset)
-    config = config_factory(
-        protocol=Protocol(args.protocol),
-        consistency=Consistency(args.consistency),
-        lease=args.lease,
-    )
+    from repro.serve import schema as serve_schema
+
+    spec = _spec_of(args)
+    config = serve_schema.spec_config(spec)
     kernel = build_workload(args.workload, scale=args.scale,
                             seed=args.seed)
     obs = Observability.full(interval=args.interval,
                              trace_engine=args.trace_engine)
-    gpu = GPU(config, record_accesses=True, obs=obs)
+    gpu = make_gpu(config, record_accesses=True, obs=obs)
     stats = gpu.run(kernel)
 
     out = args.out or f"{args.workload}.trace.json"
@@ -203,7 +203,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print(f"audit:   {args.audit_jsonl}")
 
     try:
-        replayed = replay_audit(obs.audit.records, lease=config.lease)
+        home_capacity = (config.home_ts_entries
+                         if config.n_gpus > 1 else None)
+        replayed = replay_audit(obs.audit.records, lease=config.lease,
+                                home_capacity=home_capacity)
     except CoherenceViolation as violation:
         print(f"audit:   FAILED: {violation}", file=sys.stderr)
         return 1
@@ -248,7 +251,7 @@ def _cprofile_run(args: argparse.Namespace, workload: str) -> int:
     config = config_factory(protocol=Protocol.GTSC,
                             consistency=Consistency.RC)
     kernel = build_workload(workload, scale=args.scale, seed=args.seed)
-    gpu = GPU(config, record_accesses=False)
+    gpu = make_gpu(config, record_accesses=False)
     profiler = cProfile.Profile()
     profiler.enable()
     stats = gpu.run(kernel)
@@ -275,7 +278,8 @@ def _cprofile_run(args: argparse.Namespace, workload: str) -> int:
 def cmd_profile(args: argparse.Namespace) -> int:
     import time
 
-    unknown = [w for w in args.workloads if w not in ALL_NAMES]
+    unknown = [w for w in args.workloads
+               if w not in ALL_NAMES + MULTIGPU_NAMES]
     if unknown:
         print(f"unknown workloads: {', '.join(unknown)}",
               file=sys.stderr)
@@ -347,6 +351,20 @@ def cmd_run(args: argparse.Namespace) -> int:
         else:
             print(format_result(result))
         print()
+    return 0
+
+
+def cmd_multigpu(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import multigpu as multigpu_exp
+
+    counts = sorted(set(args.gpus))
+    if any(count < 1 for count in counts):
+        print("GPU counts must be >= 1", file=sys.stderr)
+        return 2
+    runner = _make_runner(args)
+    result = multigpu_exp(runner, gpu_counts=counts,
+                          workloads=args.workload or None)
+    print(format_result(result))
     return 0
 
 
@@ -578,7 +596,7 @@ def cmd_db_query(args: argparse.Namespace) -> int:
         print("no matching runs")
         return 0
     print(f"{'run key':14s} {'benchmark':9s} {'config':14s} "
-          f"{'preset':6s} {'cycles':>10s} {'source':12s} "
+          f"{'preset':6s} {'gpus':>4s} {'cycles':>10s} {'source':12s} "
           f"{'commit':10s} {'wall s':>8s}")
     for row in rows:
         config = (f"{row['protocol']}-{row['consistency']}"
@@ -587,7 +605,8 @@ def cmd_db_query(args: argparse.Namespace) -> int:
                 if row["wall_time_s"] is not None else "-")
         print(f"{row['run_key'][:12]:14s} "
               f"{(row['workload'] or '-'):9s} {config:14s} "
-              f"{(row['preset'] or '-'):6s} {row['cycles']:>10d} "
+              f"{(row['preset'] or '-'):6s} "
+              f"{row.get('n_gpus', 1):>4d} {row['cycles']:>10d} "
               f"{(row['source'] or '-'):12s} "
               f"{row['git_commit'][:8]:10s} {wall:>8s}")
     print(f"\n{len(rows)} run(s) shown of {db.count()} in {args.db}")
@@ -645,7 +664,7 @@ def make_parser() -> argparse.ArgumentParser:
     p_list.set_defaults(fn=cmd_list)
 
     p_sim = sub.add_parser("simulate", help="simulate one workload")
-    p_sim.add_argument("workload", choices=ALL_NAMES)
+    p_sim.add_argument("workload", choices=ALL_NAMES + MULTIGPU_NAMES)
     p_sim.add_argument("--protocol", default="gtsc",
                        choices=[p.value for p in Protocol])
     p_sim.add_argument("--consistency", default="rc",
@@ -664,7 +683,7 @@ def make_parser() -> argparse.ArgumentParser:
     p_trace = sub.add_parser(
         "trace",
         help="simulate one workload with full observability on")
-    p_trace.add_argument("workload", choices=ALL_NAMES)
+    p_trace.add_argument("workload", choices=ALL_NAMES + MULTIGPU_NAMES)
     p_trace.add_argument("--protocol", default="gtsc",
                          choices=[p.value for p in Protocol])
     p_trace.add_argument("--consistency", default="rc",
@@ -685,6 +704,9 @@ def make_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--audit-jsonl", metavar="PATH",
                          help="also write the protocol audit log "
                               "as JSONL")
+    p_trace.add_argument("--set", action="append", metavar="NAME=VALUE",
+                         help="extra GPUConfig override (e.g. "
+                              "n_gpus=2); repeatable")
     p_trace.add_argument("--interval", type=int, default=500,
                          help="metrics sampling interval in cycles "
                               "(default: 500)")
@@ -719,6 +741,20 @@ def make_parser() -> argparse.ArgumentParser:
     _add_runner_args(p_run)
     p_run.set_defaults(fn=cmd_run)
 
+    p_mg = sub.add_parser(
+        "multigpu",
+        help="compare G-TSC vs TC vs MESI across GPU counts on the "
+             "inter-GPU sharing workloads")
+    p_mg.add_argument("--gpus", type=int, nargs="+",
+                      default=[1, 2, 4, 8], metavar="N",
+                      help="GPU counts to compare (default: 1 2 4 8)")
+    p_mg.add_argument("--workload", action="append",
+                      choices=MULTIGPU_NAMES,
+                      help="restrict to specific inter-GPU "
+                           "workload(s); repeatable (default: all)")
+    _add_runner_args(p_mg)
+    p_mg.set_defaults(fn=cmd_multigpu)
+
     p_sweep = sub.add_parser(
         "sweep", help="sweep one config parameter across values")
     p_sweep.add_argument("parameter",
@@ -726,7 +762,7 @@ def make_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("values", nargs="+",
                          help="integer values to sweep")
     p_sweep.add_argument("--workload", action="append", required=True,
-                         choices=ALL_NAMES,
+                         choices=ALL_NAMES + MULTIGPU_NAMES,
                          help="benchmark(s); repeatable")
     p_sweep.add_argument("--protocol", default="gtsc",
                          choices=[p.value for p in Protocol])
@@ -849,7 +885,7 @@ def make_parser() -> argparse.ArgumentParser:
     p_sub = sub.add_parser(
         "submit",
         help="submit one simulation point to a running service")
-    p_sub.add_argument("workload", choices=ALL_NAMES)
+    p_sub.add_argument("workload", choices=ALL_NAMES + MULTIGPU_NAMES)
     p_sub.add_argument("--protocol", default="gtsc",
                        choices=[p.value for p in Protocol])
     p_sub.add_argument("--consistency", default="rc",
@@ -908,7 +944,7 @@ def make_parser() -> argparse.ArgumentParser:
                          metavar="PATH",
                          help=f"database path "
                               f"(default: {DEFAULT_DB_PATH})")
-    p_query.add_argument("--workload", choices=ALL_NAMES)
+    p_query.add_argument("--workload", choices=ALL_NAMES + MULTIGPU_NAMES)
     p_query.add_argument("--protocol",
                          choices=[p.value for p in Protocol])
     p_query.add_argument("--consistency",

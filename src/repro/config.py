@@ -191,6 +191,12 @@ class GPUConfig:
     dram_latency: int = 160
     dram_bandwidth: int = 16         # bytes/cycle per partition
 
+    # --- multi-GPU (HALCONE-style scale-out) --------------------------------
+    n_gpus: int = 1                  # 1 = the single-GPU machine of the paper
+    interlink_latency: int = 100     # one-way inter-GPU link latency (cycles)
+    interlink_bandwidth: int = 8     # bytes/cycle per GPU endpoint port
+    home_ts_entries: int = 4096      # per-address mem_ts directory capacity
+
     # --- protocol parameters ------------------------------------------------
     protocol: Protocol = Protocol.GTSC
     consistency: Consistency = Consistency.RC
@@ -221,6 +227,17 @@ class GPUConfig:
             raise ValueError("lease_max_factor must be at least 1")
         if self.ts_max < 2 * self.lease * self.lease_max_factor:
             raise ValueError("ts_max too small for the configured lease")
+        if self.n_gpus < 1:
+            raise ValueError("n_gpus must be at least 1")
+        if self.n_gpus > 1:
+            if self.interlink_latency < 1:
+                raise ValueError("interlink_latency must be positive")
+            if self.interlink_bandwidth < 1:
+                raise ValueError("interlink_bandwidth must be positive")
+            if self.home_ts_entries < 1:
+                raise ValueError("home_ts_entries must be positive")
+            if self.noc_topology is not NocTopology.PORT:
+                raise ValueError("multi-GPU requires the PORT NoC model")
 
     # --- derived geometry ---------------------------------------------------
     @property
@@ -241,6 +258,15 @@ class GPUConfig:
     def bank_of(self, line_addr: int) -> int:
         """Map a line address to its home L2 bank (address interleaving)."""
         return line_addr % self.num_l2_banks
+
+    def home_gpu_of(self, line_addr: int) -> int:
+        """Map a line address to its home GPU (NUMA interleaving).
+
+        Addresses interleave across L2 banks first (``bank_of``) and
+        then across GPUs, so every line has exactly one home bank
+        system-wide — L2 state is never replicated between GPUs.
+        """
+        return (line_addr // self.num_l2_banks) % self.n_gpus
 
     # --- presets -------------------------------------------------------------
     @classmethod
@@ -300,9 +326,10 @@ class GPUConfig:
 
     def describe(self) -> str:
         """One-line human-readable summary used by the harness output."""
+        gpus = f"{self.n_gpus}GPU x " if self.n_gpus > 1 else ""
         return (
             f"{self.protocol.value}/{self.consistency.value} "
-            f"{self.num_sms}SM x {self.max_warps_per_sm}w, "
+            f"{gpus}{self.num_sms}SM x {self.max_warps_per_sm}w, "
             f"L1 {self.l1_size // 1024}KB, "
             f"L2 {self.num_l2_banks}x{self.l2_bank_size // 1024}KB, "
             f"lease={self.lease}"

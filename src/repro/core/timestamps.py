@@ -26,6 +26,7 @@ class TimestampDomain:
         self.stats = stats
         self.epoch = 0
         self._reset_listeners: List[Callable[[], None]] = []
+        self._resetting = False
 
     def on_reset(self, listener: Callable[[], None]) -> None:
         """Register a bank callback invoked on every overflow reset."""
@@ -57,9 +58,25 @@ class TimestampDomain:
         self._reset()
 
     def _reset(self) -> None:
-        self.epoch += 1
-        for listener in self._reset_listeners:
-            listener()
+        # One domain may serve many L2 banks across many GPUs (the
+        # multi-GPU cluster registers every bank plus the shared home
+        # directory).  A listener that re-entered the reset would bump
+        # the epoch mid-iteration, leaving banks rewritten against
+        # different epochs — fail loudly instead.  The snapshot makes
+        # a listener registering further listeners safe: they join
+        # from the next reset on.
+        if self._resetting:
+            raise RuntimeError(
+                "re-entrant timestamp reset: a reset listener "
+                "attempted another domain reset"
+            )
+        self._resetting = True
+        try:
+            self.epoch += 1
+            for listener in tuple(self._reset_listeners):
+                listener()
+        finally:
+            self._resetting = False
 
     def clamp(self, ts: int) -> int:
         """Assign ``ts`` if it fits; otherwise reset and signal retry.

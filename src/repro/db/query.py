@@ -33,12 +33,18 @@ MATRIX_BARS = (
 
 def latest_by_point(db: ResultsDB, commit: Optional[str] = None,
                     status: str = "done") -> Dict[tuple, Dict]:
-    """The newest run row per (workload, protocol, consistency)."""
+    """Newest run row per (workload, protocol, consistency, n_gpus).
+
+    ``n_gpus`` is part of the point identity so a multi-GPU sweep
+    never shadows (or is shadowed by) the single-GPU row of the same
+    protocol point.
+    """
     rows = db.runs(commit=commit, status=status)
     latest: Dict[tuple, Dict] = {}
     # db.runs() returns newest-first; keep the first row seen per point
     for row in rows:
-        point = (row["workload"], row["protocol"], row["consistency"])
+        point = (row["workload"], row["protocol"], row["consistency"],
+                 row.get("n_gpus", 1))
         if point not in latest:
             latest[point] = row
     return latest
@@ -55,6 +61,10 @@ def matrix_result(db: ResultsDB,
     otherwise (noted per row in the last column).
     """
     latest = latest_by_point(db, commit=commit)
+    # the Fig. 12 table is a single-GPU figure; multi-GPU rows render
+    # in the comparison table with their GPU count instead
+    latest = {point[:3]: row for point, row in latest.items()
+              if point[3] == 1}
     known = sorted({point[0] for point in latest if point[0]})
     if workloads is None:
         workloads = known
@@ -120,15 +130,17 @@ def comparison_rows(db: ResultsDB,
     latest = latest_by_point(db, commit=commit)
     out: List[Dict] = []
     for point in sorted(latest):
-        workload, protocol, consistency = point
+        workload, protocol, consistency, n_gpus = point
         row = latest[point]
         key = row["run_key"]
         l1_access = db.counter(key, "l1_access") or 0
         l1_hit = db.counter(key, "l1_hit") or 0
+        config = f"{protocol}-{consistency}" if protocol else "(unknown)"
+        if n_gpus > 1:
+            config += f" x{n_gpus}GPU"
         out.append({
             "workload": workload or "(unknown)",
-            "config": f"{protocol}-{consistency}" if protocol else
-                      "(unknown)",
+            "config": config,
             "run_key": key,
             "cycles": row["cycles"],
             "l1_hit_rate": (l1_hit / l1_access) if l1_access else 0.0,

@@ -144,7 +144,8 @@ def render_report(db: ResultsDB, title: str = "G-TSC results",
                "database; shown truncated.</p>")
     out.append('<table class="prov"><thead><tr>'
                "<th>run key</th><th>benchmark</th><th>config</th>"
-               "<th>preset</th><th>commit</th><th>config hash</th>"
+               "<th>preset</th><th>GPUs</th><th>commit</th>"
+               "<th>config hash</th>"
                "<th>host</th><th>source</th><th>status</th>"
                "<th>wall&nbsp;s</th></tr></thead><tbody>")
     for row in rows:
@@ -158,6 +159,7 @@ def render_report(db: ResultsDB, title: str = "G-TSC results",
             f"<td>{html.escape(row['workload'] or '-')}</td>"
             f"<td>{html.escape(config)}</td>"
             f"<td>{html.escape(row['preset'] or '-')}</td>"
+            f'<td class="num">{row.get("n_gpus", 1)}</td>'
             f"<td>{_short(row['git_commit'])}</td>"
             f"<td>{_short(row['config_hash'])}</td>"
             f"<td>{html.escape(row['host'] or '-')}</td>"

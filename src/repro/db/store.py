@@ -80,7 +80,8 @@ CREATE TABLE IF NOT EXISTS runs (
     timeseries_meta TEXT NOT NULL DEFAULT '',
     created_at    REAL NOT NULL,
     updated_at    REAL NOT NULL,
-    sim_backend   TEXT NOT NULL DEFAULT ''
+    sim_backend   TEXT NOT NULL DEFAULT '',
+    n_gpus        INTEGER NOT NULL DEFAULT 1
 );
 CREATE INDEX IF NOT EXISTS idx_runs_point
     ON runs(workload, protocol, consistency);
@@ -105,15 +106,16 @@ CREATE TABLE IF NOT EXISTS timeseries (
 
 #: columns of the ``runs`` table, in schema order (query helpers and
 #: the CLI build row dicts from this single list).  ``sim_backend``
-#: is deliberately last: pre-existing databases gain it via ALTER
-#: TABLE, which appends, and ``SELECT *`` must zip against the same
-#: order on both fresh and migrated files.
+#: and ``n_gpus`` are deliberately last, in migration order:
+#: pre-existing databases gain them via ALTER TABLE, which appends,
+#: and ``SELECT *`` must zip against the same order on both fresh and
+#: migrated files.
 RUN_COLUMNS = (
     "run_key", "workload", "protocol", "consistency", "preset",
     "scale", "seed", "spec", "config_desc", "config_hash",
     "git_commit", "repro_version", "host", "source", "status",
     "wall_time_s", "cycles", "timeseries_meta", "created_at",
-    "updated_at", "sim_backend",
+    "updated_at", "sim_backend", "n_gpus",
 )
 
 
@@ -145,14 +147,18 @@ class ResultsDB:
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.executescript(
             _SCHEMA.format(version=SCHEMA_VERSION))
-        # migrate databases created before the sim_backend column:
-        # ALTER TABLE appends, matching RUN_COLUMNS order
+        # migrate databases created before the sim_backend / n_gpus
+        # columns: ALTER TABLE appends, matching RUN_COLUMNS order
         present = {row[1] for row in self._conn.execute(
             "PRAGMA table_info(runs)")}
         if "sim_backend" not in present:
             self._conn.execute(
                 "ALTER TABLE runs ADD COLUMN sim_backend "
                 "TEXT NOT NULL DEFAULT ''")
+        if "n_gpus" not in present:
+            self._conn.execute(
+                "ALTER TABLE runs ADD COLUMN n_gpus "
+                "INTEGER NOT NULL DEFAULT 1")
         self._conn.commit()
         #: None = write-through (one transaction per record);
         #: a number = buffer and land one transaction per interval
@@ -194,7 +200,8 @@ class ResultsDB:
                config=None, config_hash: str = "",
                git_commit: Optional[str] = None,
                host: Optional[str] = None,
-               sim_backend: str = "") -> None:
+               sim_backend: str = "",
+               n_gpus: Optional[int] = None) -> None:
         """Upsert one finished run and its flattened statistics.
 
         ``spec`` is the canonical request spec when the producer knows
@@ -211,6 +218,14 @@ class ResultsDB:
             git_commit = provenance.git_commit()
         if host is None:
             host = provenance.host()
+        if n_gpus is None:
+            # derive from the config when the producer has one, else
+            # from the spec's overrides; single-GPU rows stay 1
+            if config is not None:
+                n_gpus = getattr(config, "n_gpus", 1)
+            else:
+                overrides = (spec or {}).get("overrides") or {}
+                n_gpus = int(overrides.get("n_gpus", 1))
         spec = dict(spec) if spec is not None else None
         info = spec if spec is not None else (point or {})
         now = time.time()
@@ -242,6 +257,7 @@ class ResultsDB:
             now,
             now,
             sim_backend,
+            n_gpus,
         )
         stat_rows: List[tuple] = [
             (run_key, "counter", name, value, None)

@@ -180,10 +180,32 @@ class GPU:
         )
 
 
+def make_gpu(config: GPUConfig,
+             record_accesses: bool = True,
+             energy_params: Optional[EnergyParams] = None,
+             obs=None):
+    """The simulator for ``config``: a plain :class:`GPU`, or a
+    :class:`~repro.multigpu.machine.MultiGpuGPU` cluster when
+    ``config.n_gpus > 1``.
+
+    Both expose the same ``run`` / ``run_sequence`` / ``finish``
+    surface and a ``.machine`` carrying the engine and statistics.
+    ``n_gpus=1`` takes this exact single-GPU constructor — the
+    multigpu package is imported lazily and only for real clusters —
+    so single-GPU results stay bit-identical.
+    """
+    if config.n_gpus > 1:
+        from repro.multigpu.machine import MultiGpuGPU
+        return MultiGpuGPU(config, record_accesses=record_accesses,
+                           energy_params=energy_params, obs=obs)
+    return GPU(config, record_accesses=record_accesses,
+               energy_params=energy_params, obs=obs)
+
+
 def run_kernel(config: GPUConfig, kernel: Kernel,
                record_accesses: bool = True,
                max_events: Optional[int] = None) -> RunStats:
     """Build a GPU for ``config``, run ``kernel``, return its stats."""
-    return GPU(config, record_accesses=record_accesses).run(
+    return make_gpu(config, record_accesses=record_accesses).run(
         kernel, max_events=max_events
     )

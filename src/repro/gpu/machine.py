@@ -29,16 +29,33 @@ class Machine:
 
     def __init__(self, config: GPUConfig,
                  record_accesses: bool = True,
-                 obs: Optional["Observability"] = None) -> None:
+                 obs: Optional["Observability"] = None,
+                 *,
+                 engine=None, stats=None, versions=None, log=None,
+                 gpu_id: int = 0, cluster=None) -> None:
         self.config = config
         # backend resolution happens per construction (flag, then
         # REPRO_BACKEND, then auto); both backends are bit-identical,
         # so the name is provenance for results rows, never a run key
         self.sim_backend = backend_name()
-        self.engine = engine_class()()
-        self.stats = StatsCollector()
-        self.versions = VersionStore()
-        self.log = AccessLog(enabled=record_accesses)
+        # engine/stats/versions/log may be injected so that N machines
+        # in a multi-GPU cluster share one event timeline and one
+        # statistics namespace (repro.multigpu); single-GPU callers
+        # never pass them and get private instances as before
+        self.engine = engine if engine is not None else engine_class()()
+        self.stats = stats if stats is not None else StatsCollector()
+        self.versions = versions if versions is not None else VersionStore()
+        self.log = log if log is not None else AccessLog(
+            enabled=record_accesses)
+        # multi-GPU identity: cluster is None for a standalone machine;
+        # when set, controllers address SMs by the global uid
+        # ``sm_uid_base + local_sm`` and route home misses off-GPU
+        self.cluster = cluster
+        self.gpu_id = gpu_id
+        self.sm_uid_base = gpu_id * config.num_sms
+        # audit-unit prefix: empty for single-GPU runs (bit-identity
+        # with pre-multigpu logs), "g<i>:" inside a cluster
+        self.unit_prefix = f"g{gpu_id}:" if cluster is not None else ""
         # line address -> version currently resident in DRAM
         self.memory_image: Dict[int, int] = {}
         if config.noc_topology is NocTopology.MESH:

@@ -34,7 +34,12 @@ from repro.config import (
 )
 from repro.harness.runner import ExperimentRunner, point_of
 from repro.harness.tables import ExperimentResult, geomean
-from repro.workloads import ALL_NAMES, COHERENT_NAMES, INDEPENDENT_NAMES
+from repro.workloads import (
+    ALL_NAMES,
+    COHERENT_NAMES,
+    INDEPENDENT_NAMES,
+    MULTIGPU_NAMES,
+)
 
 _BARS = ["TC-SC", "TC-RC", "G-TSC-SC", "G-TSC-RC"]
 
@@ -712,4 +717,73 @@ def ablation_tc_lease(runner: ExperimentRunner,
         result.rows.append([name] + [c / best for c in cycles])
         spreads.append(max(cycles) / best - 1.0)
     result.summary = {"max TC slowdown from a bad lease": max(spreads)}
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Multi-GPU scale-out (repro.multigpu; HALCONE-style comparison)
+# ---------------------------------------------------------------------------
+
+def multigpu(runner: ExperimentRunner,
+             gpu_counts: Optional[List[int]] = None,
+             workloads: Optional[List[str]] = None,
+             ) -> ExperimentResult:
+    """Cross-GPU coherence comparison: G-TSC vs TC vs MESI at scale.
+
+    Not a figure of the paper — the scale-out question HALCONE
+    (arXiv 2007.04292) asks of timestamp coherence, answered with this
+    repo's protocols on the inter-GPU sharing workloads
+    (:mod:`repro.workloads.multigpu`).  Every protocol runs the same
+    trace at 1/2/4/8 GPUs over the shared mem_ts home directory; the
+    table reports absolute cycles per GPU count plus the inter-GPU
+    link traffic at the largest count, where the protocols' remote
+    re-validation strategies (data-less renewals vs full refills vs
+    invalidation chatter) diverge hardest.
+    """
+    gpu_counts = list(gpu_counts or [1, 2, 4, 8])
+    workloads = list(workloads or MULTIGPU_NAMES)
+    protos = [("G-TSC", Protocol.GTSC), ("TC", Protocol.TC),
+              ("MESI", Protocol.MESI)]
+    result = ExperimentResult(
+        "multigpu",
+        "Execution cycles by GPU count (RC issue rules) and interlink "
+        "bytes at the largest count",
+        (["benchmark", "config"] + [f"{n}GPU" for n in gpu_counts]
+         + ["interlink_KB"]),
+        notes=(
+            "n_gpus=1 is the paper's single-GPU machine (no interlink); "
+            "larger counts interleave L2 homes across GPUs so every "
+            "neighbour-sharing access crosses the link"
+        ),
+    )
+    runner.prefetch(
+        [point_of(n, proto, Consistency.RC, n_gpus=g)
+         for n in workloads for _, proto in protos for g in gpu_counts])
+    top = max(gpu_counts)
+    per_proto: dict = {label: {} for label, _ in protos}
+    link: dict = {label: {} for label, _ in protos}
+    for name in workloads:
+        for label, proto in protos:
+            cycles = []
+            for count in gpu_counts:
+                stats = runner.run(name, proto, Consistency.RC,
+                                   n_gpus=count)
+                cycles.append(stats.cycles)
+                if count == top:
+                    per_proto[label][name] = stats.cycles
+                    link[label][name] = stats.counter("interlink_bytes")
+            result.rows.append(
+                [name, label] + cycles
+                + [link[label][name] / 1024.0])
+    result.summary = {
+        f"G-TSC cycles vs TC at {top} GPUs (geomean)": geomean(
+            [per_proto["G-TSC"][n] / per_proto["TC"][n]
+             for n in workloads]),
+        f"G-TSC cycles vs MESI at {top} GPUs (geomean)": geomean(
+            [per_proto["G-TSC"][n] / per_proto["MESI"][n]
+             for n in workloads]),
+        f"G-TSC interlink bytes vs TC at {top} GPUs (geomean)": geomean(
+            [(link["G-TSC"][n] or 1) / (link["TC"][n] or 1)
+             for n in workloads]),
+    }
     return result

@@ -31,7 +31,7 @@ import warnings
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.config import Consistency, Protocol
-from repro.gpu.gpu import GPU
+from repro.gpu.gpu import make_gpu
 from repro.harness.progress import RateEstimator
 from repro.harness.runner import ExperimentRunner, Point
 from repro.sim.backend import backend_name
@@ -88,7 +88,7 @@ def _simulate_point(preset: str, scale: float, seed: int,
                          **merged)
         kernel = build_workload(workload, scale=scale, seed=seed,
                                 cache_dir=trace_cache_dir)
-        stats = GPU(config, record_accesses=False).run(kernel)
+        stats = make_gpu(config, record_accesses=False).run(kernel)
         return stats.to_dict()
     except SimulationJobError:
         raise

@@ -175,6 +175,18 @@ EXPECTATIONS: List[PaperExpectation] = [
         experiments.ablation_adaptive_lease,
     ),
     PaperExpectation(
+        "multigpu", "Extension — multi-GPU scale-out (HALCONE-style)",
+        "not in the paper; HALCONE (arXiv 2007.04292) extends "
+        "timestamp coherence across GPUs with a shared memory "
+        "timestamp home and shows it scales without invalidation "
+        "traffic.",
+        "all three protocols stay correct at 2-8 GPUs; G-TSC ships "
+        "fewer interlink bytes than MESI's invalidation chatter on "
+        "the sharing-heavy exchanges, and its cycles scale no worse "
+        "than TC's as remote leases renew data-lessly.",
+        experiments.multigpu,
+    ),
+    PaperExpectation(
         "ablation-tc-lease", "Section II-D3 — TC lease sensitivity",
         "TC performance is sensitive to the lease period; a suitable "
         "period is hard to pick.",

@@ -23,7 +23,7 @@ import warnings
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.config import Consistency, GPUConfig, Protocol
-from repro.gpu.gpu import GPU
+from repro.gpu.gpu import make_gpu
 from repro.harness.cache import RunCache, _canonical, run_key
 from repro.harness.progress import RateEstimator
 from repro.stats.collector import RunStats
@@ -121,7 +121,7 @@ class ExperimentRunner:
     def _simulate(self, workload: str, config: GPUConfig) -> RunStats:
         kernel = self._kernel(workload)
         self.simulations_run += 1
-        gpu = GPU(config, record_accesses=False)
+        gpu = make_gpu(config, record_accesses=False)
         self.last_sim_backend = gpu.machine.sim_backend
         stats = gpu.run(kernel)
         totals = self.engine_counters

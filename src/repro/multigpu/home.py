@@ -1,0 +1,79 @@
+"""Shared memory-timestamp home layer for cross-GPU G-TSC.
+
+On one GPU each L2 bank tracks the timestamp of evicted lines with a
+single scalar ``mem_ts`` (Fig. 6: eviction folds the line's rts into
+the scalar; a later fill starts its lease at the fold).  That scalar
+is safe because the bank is the *only* order point for its addresses.
+
+Across GPUs the order point must stay unique per address, so the home
+directory keeps a **per-address** fold — tighter than the scalar (a
+refill of address A is no longer penalised by an unrelated hot
+address B folding a huge rts into the same scalar), in the style of
+the Tardis directory HALCONE builds on.  Capacity is bounded: when
+the map exceeds ``home_ts_entries`` the smallest half is
+deterministically summarised into a rising ``floor``, which is the
+scalar-mem_ts degenerate case.  Folding into the floor only ever
+*raises* an address's effective mem_ts, so lease monotonicity — the
+invariant ``replay_audit`` checks — is preserved by construction.
+
+On a timestamp-domain reset (overflow or kernel boundary) the
+directory clears to ``floor = 1``, mirroring every bank's
+``mem_ts = 1`` reset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class HomeDirectory:
+    """Per-address ``mem_ts`` with bounded capacity and a rising floor."""
+
+    __slots__ = ("capacity", "floor", "entries", "_counters")
+
+    def __init__(self, capacity: int, stats=None) -> None:
+        if capacity < 1:
+            raise ValueError("home directory capacity must be positive")
+        self.capacity = capacity
+        self.floor = 1
+        self.entries: Dict[int, int] = {}
+        self._counters = stats.counters if stats is not None else None
+
+    def mem_ts_of(self, addr: int) -> int:
+        """The fill timestamp a fresh lease of ``addr`` must start at."""
+        ts = self.entries.get(addr, 0)
+        floor = self.floor
+        return ts if ts > floor else floor
+
+    def fold(self, addr: int, rts: int) -> None:
+        """Fold an evicted line's rts into the address's entry (Fig. 6)."""
+        entries = self.entries
+        prev = entries.get(addr, 0)
+        if rts > prev:
+            entries[addr] = rts
+        if len(entries) > self.capacity:
+            self._summarize()
+
+    def _summarize(self) -> None:
+        """Fold the smallest half of the map into the floor.
+
+        Deterministic (sorted by value then address) so two runs of
+        the same workload summarise identically — run keys depend on
+        it.  The audit replayer mirrors this byte for byte.
+        """
+        entries = self.entries
+        victims = sorted(entries.items(), key=lambda kv: (kv[1], kv[0]))
+        keep_from = len(victims) - self.capacity // 2
+        floor = self.floor
+        for addr, ts in victims[:keep_from]:
+            if ts > floor:
+                floor = ts
+            del entries[addr]
+        self.floor = floor
+        if self._counters is not None:
+            self._counters["home_ts_summarizations"] += 1
+
+    def reset(self) -> None:
+        """Timestamp-domain reset: every bank restarts at mem_ts = 1."""
+        self.entries.clear()
+        self.floor = 1

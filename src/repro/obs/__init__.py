@@ -116,6 +116,46 @@ class Observability:
                 lambda: sum(len(b.mshr) for b in machine.l2_banks))
         machine.engine.hook = self._engine_hook()
 
+    def attach_cluster(self, cluster) -> None:
+        """Hook this bundle into a multi-GPU cluster under construction.
+
+        Per-machine members (NoC/DRAM tracers) are installed on every
+        GPU plus the interlink, but the metrics registry and the engine
+        dispatch hook are installed exactly once — all machines share
+        one engine, and a per-machine ``attach`` would re-bind them N
+        times.  MSHR-occupancy gauges aggregate across the cluster.
+        """
+        tracer = self.tracer
+        metrics = self.metrics
+        machines = cluster.machines
+        if tracer is not None:
+            for machine in machines:
+                machine.noc.trace = tracer
+                for dram in machine.drams:
+                    dram.trace = tracer
+            cluster.interlink.trace = tracer
+        if metrics is not None:
+            metrics.bind(machines[0].stats, tracer=tracer)
+            engine = machines[0].engine
+            metrics.add_gauge("engine_pending", engine.pending)
+            metrics.add_gauge("engine_heap_deferred",
+                              lambda: engine.heap_deferred)
+            metrics.add_gauge("engine_heap_migrated",
+                              lambda: engine.heap_migrated)
+            metrics.add_gauge("engine_stale_reclaimed",
+                              lambda: engine.stale_reclaimed)
+            metrics.add_gauge(
+                "l1_mshr_occupancy",
+                lambda: sum(len(l1.mshr)
+                            for m in machines for l1 in m.l1s))
+            metrics.add_gauge(
+                "l2_mshr_occupancy",
+                lambda: sum(len(b.mshr)
+                            for m in machines for b in m.l2_banks))
+        machines[0].engine.hook = self._engine_hook()
+        for machine in machines:
+            machine.obs = self
+
     def _engine_hook(self):
         """The per-dispatch callback installed on the engine, or None.
 

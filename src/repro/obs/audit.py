@@ -136,6 +136,52 @@ class _SMShadow:
         self.warp_ts.clear()
 
 
+class _HomeShadow:
+    """Replay mirror of :class:`repro.multigpu.home.HomeDirectory`.
+
+    Byte-for-byte the same fold/summarize algorithm — the fill check
+    ``wts == mem_ts_of(addr)`` is only sound if the shadow and the
+    simulated directory summarise identically.  One instance is shared
+    by every bank shadow in the cluster (that is the point: the home
+    layer is the cross-GPU order witness), and it resets whenever the
+    cluster epoch advances.
+    """
+
+    __slots__ = ("capacity", "floor", "entries", "epoch")
+
+    def __init__(self, capacity: int, epoch: int) -> None:
+        self.capacity = capacity
+        self.floor = 1
+        self.entries: Dict[int, int] = {}
+        self.epoch = epoch
+
+    def mem_ts_of(self, addr: int) -> int:
+        ts = self.entries.get(addr, 0)
+        floor = self.floor
+        return ts if ts > floor else floor
+
+    def fold(self, addr: int, rts: int) -> None:
+        entries = self.entries
+        prev = entries.get(addr, 0)
+        if rts > prev:
+            entries[addr] = rts
+        if len(entries) > self.capacity:
+            victims = sorted(entries.items(),
+                             key=lambda kv: (kv[1], kv[0]))
+            keep_from = len(victims) - self.capacity // 2
+            floor = self.floor
+            for victim_addr, ts in victims[:keep_from]:
+                if ts > floor:
+                    floor = ts
+                del entries[victim_addr]
+            self.floor = floor
+
+    def reset(self, epoch: int) -> None:
+        self.entries.clear()
+        self.floor = 1
+        self.epoch = epoch
+
+
 def _fail(rec: AuditRecord, index: int, why: str) -> None:
     raise CoherenceViolation(
         f"audit record {index} ({rec.kind} {rec.unit} "
@@ -144,7 +190,8 @@ def _fail(rec: AuditRecord, index: int, why: str) -> None:
         f"epoch={rec.epoch}]")
 
 
-def replay_audit(records: List[AuditRecord], lease: int) -> int:
+def replay_audit(records: List[AuditRecord], lease: int,
+                 home_capacity: int = None) -> int:
     """Replay an audit log against the G-TSC timestamp invariants.
 
     ``lease`` is the configured base lease (``GPUConfig.lease``); the
@@ -153,9 +200,20 @@ def replay_audit(records: List[AuditRecord], lease: int) -> int:
     may use the adaptive-lease extension) are only required to be
     monotone.  Returns the number of records checked; raises
     :class:`CoherenceViolation` on the first inconsistency.
+
+    ``home_capacity`` switches on the multi-GPU shared-home mode
+    (pass ``config.home_ts_entries`` for an ``n_gpus > 1`` run, whose
+    units are ``g<i>:``-prefixed): fills are checked against a shadow
+    of the cluster-wide per-address home directory instead of the
+    per-bank scalar ``mem_ts``, and per-address write timestamps must
+    be strictly monotone *across* GPUs within an epoch — the
+    cross-GPU single-writer witness.
     """
     banks: Dict[str, _BankShadow] = {}
     sms: Dict[str, _SMShadow] = {}
+    home: _HomeShadow = None
+    # addr -> last write wts seen anywhere in the cluster (home mode)
+    last_write: Dict[int, int] = {}
     last_cycle = 0
 
     for index, rec in enumerate(records):
@@ -165,7 +223,23 @@ def replay_audit(records: List[AuditRecord], lease: int) -> int:
         last_cycle = rec.cycle
 
         if rec.kind in L2_KINDS:
-            _replay_bank(banks, rec, index, lease)
+            if home_capacity is not None:
+                if home is None:
+                    home = _HomeShadow(home_capacity, rec.epoch)
+                elif rec.epoch > home.epoch:
+                    # any bank observing a newer epoch proves the
+                    # cluster-wide reset happened; the directory
+                    # cleared with it
+                    home.reset(rec.epoch)
+                    last_write.clear()
+            _replay_bank(banks, rec, index, lease, home)
+            if home is not None and rec.kind in ("write", "atomic"):
+                prev_wts = last_write.get(rec.addr)
+                if prev_wts is not None and rec.wts <= prev_wts:
+                    _fail(rec, index,
+                          f"cross-GPU write wts not monotone for the "
+                          f"address (previous write at wts={prev_wts})")
+                last_write[rec.addr] = rec.wts
         elif rec.kind in L1_KINDS:
             _replay_sm(sms, rec, index)
         else:
@@ -174,7 +248,8 @@ def replay_audit(records: List[AuditRecord], lease: int) -> int:
 
 
 def _replay_bank(banks: Dict[str, _BankShadow], rec: AuditRecord,
-                 index: int, lease: int) -> None:
+                 index: int, lease: int,
+                 home: _HomeShadow = None) -> None:
     shadow = banks.get(rec.unit)
     if shadow is None:
         shadow = banks[rec.unit] = _BankShadow(rec.epoch)
@@ -198,14 +273,24 @@ def _replay_bank(banks: Dict[str, _BankShadow], rec: AuditRecord,
 
     prev = shadow.lines.get(rec.addr)
     if rec.kind == "fill":
-        if rec.wts != shadow.mem_ts:
+        if home is not None:
+            expected_mem_ts = home.mem_ts_of(rec.addr)
+            if rec.wts != expected_mem_ts:
+                _fail(rec, index,
+                      f"fill wts must equal the home directory's "
+                      f"mem_ts ({expected_mem_ts}) — Fig. 6 violated "
+                      f"cluster-wide")
+        elif rec.wts != shadow.mem_ts:
             _fail(rec, index, f"fill wts must equal mem_ts "
                               f"({shadow.mem_ts}) — Fig. 6 violated")
         if rec.rts != rec.wts + lease:
             _fail(rec, index, f"fill lease must be wts + {lease}")
         shadow.lines[rec.addr] = (rec.wts, rec.rts)
     elif rec.kind == "evict":
-        shadow.mem_ts = max(shadow.mem_ts, rec.rts)
+        if home is not None:
+            home.fold(rec.addr, rec.rts)
+        else:
+            shadow.mem_ts = max(shadow.mem_ts, rec.rts)
         shadow.lines.pop(rec.addr, None)
     elif rec.kind in ("write", "atomic"):
         if rec.rts != rec.wts + lease:

@@ -162,7 +162,9 @@ class L1ControllerBase:
         obs = machine.obs
         self.trace = obs.tracer if obs is not None else None
         self.audit = obs.audit if obs is not None else None
-        self.track = f"sm{sm_id}"
+        # unit_prefix is "" single-GPU (audit logs bit-identical to
+        # pre-multigpu runs) and "g<i>:" inside a cluster
+        self.track = f"{machine.unit_prefix}sm{sm_id}"
 
     # -- SM-facing interface ---------------------------------------------------
     def load(self, warp: "Warp", addr: int,
@@ -245,7 +247,7 @@ class L2BankBase:
         obs = machine.obs
         self.trace = obs.tracer if obs is not None else None
         self.audit = obs.audit if obs is not None else None
-        self.track = f"l2b{bank_id}"
+        self.track = f"{machine.unit_prefix}l2b{bank_id}"
 
     # -- arrival / pipeline --------------------------------------------------
     def receive(self, msg: Message) -> None:

@@ -20,9 +20,30 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 def build_protocol(machine: "Machine") -> None:
-    """Populate ``machine.l1s`` and ``machine.l2_banks`` per the config."""
+    """Populate ``machine.l1s`` and ``machine.l2_banks`` per the config.
+
+    A machine inside a multi-GPU cluster (``machine.cluster`` set by
+    :class:`repro.multigpu.machine.MultiGpuGPU`) gets the cross-GPU
+    controller variants from :mod:`repro.protocols.xgpu` — same state
+    machines, interlink-aware routing — and, under G-TSC, the
+    cluster's shared timestamp domain instead of a private one.
+    Standalone machines take the exact pre-multigpu classes.
+    """
     config = machine.config
+    cluster = machine.cluster
     if config.protocol is Protocol.GTSC:
+        if cluster is not None:
+            from repro.protocols.xgpu import (
+                XGpuGTSCL1Controller,
+                XGpuGTSCL2Bank,
+            )
+            domain = cluster.timestamp_domain
+            machine.timestamp_domain = domain
+            machine.l2_banks = [XGpuGTSCL2Bank(b, machine, domain)
+                                for b in range(config.num_l2_banks)]
+            machine.l1s = [XGpuGTSCL1Controller(s, machine)
+                           for s in range(config.num_sms)]
+            return
         domain = TimestampDomain(config.ts_max, config.lease,
                                  machine.stats)
         machine.timestamp_domain = domain
@@ -31,25 +52,54 @@ def build_protocol(machine: "Machine") -> None:
         machine.l1s = [GTSCL1Controller(s, machine)
                        for s in range(config.num_sms)]
     elif config.protocol is Protocol.TC:
-        machine.l2_banks = [TCL2Bank(b, machine)
+        if cluster is not None:
+            from repro.protocols.xgpu import (
+                XGpuTCL1Controller,
+                XGpuTCL2Bank,
+            )
+            l1_cls, l2_cls = XGpuTCL1Controller, XGpuTCL2Bank
+        else:
+            l1_cls, l2_cls = TCL1Controller, TCL2Bank
+        machine.l2_banks = [l2_cls(b, machine)
                             for b in range(config.num_l2_banks)]
-        machine.l1s = [TCL1Controller(s, machine)
+        machine.l1s = [l1_cls(s, machine)
                        for s in range(config.num_sms)]
     elif config.protocol is Protocol.DISABLED:
-        machine.l2_banks = [PlainL2Bank(b, machine)
+        if cluster is not None:
+            from repro.protocols.xgpu import (
+                XGpuDisabledL1Controller,
+                XGpuPlainL2Bank,
+            )
+            l1_cls, l2_cls = XGpuDisabledL1Controller, XGpuPlainL2Bank
+        else:
+            l1_cls, l2_cls = DisabledL1Controller, PlainL2Bank
+        machine.l2_banks = [l2_cls(b, machine)
                             for b in range(config.num_l2_banks)]
-        machine.l1s = [DisabledL1Controller(s, machine)
+        machine.l1s = [l1_cls(s, machine)
                        for s in range(config.num_sms)]
     elif config.protocol is Protocol.NONCOHERENT:
-        machine.l2_banks = [PlainL2Bank(b, machine)
+        if cluster is not None:
+            from repro.protocols.xgpu import (
+                XGpuNonCoherentL1Controller,
+                XGpuPlainL2Bank,
+            )
+            l1_cls, l2_cls = XGpuNonCoherentL1Controller, XGpuPlainL2Bank
+        else:
+            l1_cls, l2_cls = NonCoherentL1Controller, PlainL2Bank
+        machine.l2_banks = [l2_cls(b, machine)
                             for b in range(config.num_l2_banks)]
-        machine.l1s = [NonCoherentL1Controller(s, machine)
+        machine.l1s = [l1_cls(s, machine)
                        for s in range(config.num_sms)]
     elif config.protocol is Protocol.MESI:
-        from repro.protocols.mesi import MESIL1Controller, MESIL2Bank
-        machine.l2_banks = [MESIL2Bank(b, machine)
+        if cluster is not None:
+            from repro.protocols.xgpu import xgpu_mesi_classes
+            l1_cls, l2_cls = xgpu_mesi_classes()
+        else:
+            from repro.protocols.mesi import MESIL1Controller, MESIL2Bank
+            l1_cls, l2_cls = MESIL1Controller, MESIL2Bank
+        machine.l2_banks = [l2_cls(b, machine)
                             for b in range(config.num_l2_banks)]
-        machine.l1s = [MESIL1Controller(s, machine)
+        machine.l1s = [l1_cls(s, machine)
                        for s in range(config.num_sms)]
     else:  # pragma: no cover - enum is exhaustive
         raise ValueError(f"unknown protocol: {config.protocol}")

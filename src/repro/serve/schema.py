@@ -27,7 +27,7 @@ from repro.config import Consistency, GPUConfig, Protocol
 from repro.harness.cache import run_key
 from repro.sim.backend import backend_name
 from repro.stats.collector import RunStats
-from repro.workloads import ALL_NAMES
+from repro.workloads import ALL_NAMES, MULTIGPU_NAMES
 
 #: bump when the request or result shape changes incompatibly
 PROTOCOL_VERSION = 1
@@ -66,9 +66,10 @@ def validate_spec(spec) -> Dict:
         raise SpecError(f"spec must be an object, got "
                         f"{type(spec).__name__}")
     workload = spec.get("workload")
-    if workload not in ALL_NAMES:
-        raise SpecError(f"unknown workload {workload!r} "
-                        f"(known: {', '.join(ALL_NAMES)})")
+    if workload not in ALL_NAMES and workload not in MULTIGPU_NAMES:
+        raise SpecError(
+            f"unknown workload {workload!r} (known: "
+            f"{', '.join(ALL_NAMES + MULTIGPU_NAMES)})")
     try:
         protocol = Protocol(spec.get("protocol", "gtsc"))
         consistency = Consistency(spec.get("consistency", "rc"))
@@ -157,6 +158,8 @@ def result_envelope(spec: Dict, stats: RunStats, *, key: str,
         "coalesced": coalesced,
         "sim_backend": (backend_name() if sim_backend is None
                         else sim_backend),
+        # machine-shape provenance: how many GPUs simulated this point
+        "n_gpus": int(spec.get("overrides", {}).get("n_gpus", 1)),
         "stats": stats.to_dict(),
     }
     if job_id is not None:

@@ -67,6 +67,11 @@ COUNTERS = frozenset({
     "noc_latency_sum",
     "dram_reads",
     "dram_writes",
+    # inter-GPU interconnect (repro.multigpu)
+    "interlink_bytes",
+    "interlink_messages",
+    "interlink_latency_sum",
+    "home_ts_summarizations",
     # timestamps (G-TSC)
     "ts_overflows",
     "kernel_ts_resets",
@@ -98,7 +103,7 @@ HISTOGRAMS = frozenset({
 
 #: Families of counters whose suffix is data-dependent
 #: (``noc_bytes_ctrl``, ``noc_bytes_data``, ...).
-DYNAMIC_PREFIXES = ("noc_bytes_",)
+DYNAMIC_PREFIXES = ("noc_bytes_", "interlink_bytes_")
 
 
 def is_registered(name: str) -> bool:

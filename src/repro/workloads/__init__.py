@@ -33,7 +33,7 @@ from typing import Callable, Dict, List, Optional, Union
 
 from repro.trace.compiled import CompiledKernel, compile_kernel
 from repro.trace.instr import Kernel
-from repro.workloads import coherent, independent
+from repro.workloads import coherent, independent, multigpu
 
 #: Version stamp of the generator suite.  Participates in every trace
 #: cache key, so bumping it invalidates all cached compiled traces —
@@ -43,12 +43,20 @@ GENERATOR_VERSION = 1
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """Registry entry for one benchmark."""
+    """Registry entry for one benchmark.
+
+    ``multigpu`` marks the inter-GPU sharing generators
+    (:mod:`repro.workloads.multigpu`): they are full registry citizens
+    (buildable, cacheable, servable) but stay out of ``ALL_NAMES`` /
+    ``COHERENT_NAMES`` so the paper's twelve-benchmark figures are
+    byte-identical to the pre-multigpu harness.
+    """
 
     name: str
     requires_coherence: bool
     description: str
     builder: Callable[[random.Random, float], Kernel]
+    multigpu: bool = False
 
 
 _SPECS: List[WorkloadSpec] = [
@@ -76,14 +84,26 @@ _SPECS: List[WorkloadSpec] = [
                  independent.backprop),
     WorkloadSpec("SGM", False, "semi-global stereo matching",
                  independent.sgm),
+    # inter-GPU sharing generators (repro.multigpu comparison)
+    WorkloadSpec("PCX", True, "cross-GPU producer/consumer pipeline",
+                 multigpu.producer_consumer, multigpu=True),
+    WorkloadSpec("ARX", True, "recursive-doubling all-reduce exchange",
+                 multigpu.all_reduce, multigpu=True),
+    WorkloadSpec("NZP", True, "NUMA-skewed zipf sharing",
+                 multigpu.numa_zipf, multigpu=True),
 ]
 
 WORKLOADS: Dict[str, WorkloadSpec] = {spec.name: spec for spec in _SPECS}
 
-COHERENT_NAMES: List[str] = [s.name for s in _SPECS if s.requires_coherence]
+COHERENT_NAMES: List[str] = [s.name for s in _SPECS
+                             if s.requires_coherence and not s.multigpu]
 INDEPENDENT_NAMES: List[str] = [s.name for s in _SPECS
-                                if not s.requires_coherence]
-ALL_NAMES: List[str] = [s.name for s in _SPECS]
+                                if not s.requires_coherence
+                                and not s.multigpu]
+#: the paper's twelve single-GPU benchmarks (figure vocabulary)
+ALL_NAMES: List[str] = [s.name for s in _SPECS if not s.multigpu]
+#: the inter-GPU sharing generators (multi-GPU comparison vocabulary)
+MULTIGPU_NAMES: List[str] = [s.name for s in _SPECS if s.multigpu]
 
 
 def trace_key(name: str, scale: float, seed: int) -> str:

@@ -7,7 +7,7 @@ import random
 import pytest
 
 from repro.config import Consistency, GPUConfig, Protocol
-from repro.gpu.gpu import GPU
+from repro.gpu.gpu import make_gpu
 from repro.trace.instr import Kernel, compute, fence, load, store
 from repro.validate.checker import (
     check_atomicity,
@@ -27,8 +27,8 @@ def small_config() -> GPUConfig:
 
 
 def run_gpu(config: GPUConfig, kernel: Kernel, max_events: int = 2_000_000):
-    """Run a kernel and return (GPU, RunStats)."""
-    gpu = GPU(config)
+    """Run a kernel and return (GPU or MultiGpuGPU, RunStats)."""
+    gpu = make_gpu(config)
     stats = gpu.run(kernel, max_events=max_events)
     return gpu, stats
 

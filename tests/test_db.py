@@ -309,7 +309,9 @@ def test_matrix_result_normalises_to_baseline(tmp_path):
     assert all(isinstance(v, float) and v > 0 for v in values)
     assert result.summary  # the geomean lines the paper quotes
     latest = latest_by_point(db)
-    assert ("BFS", "gtsc", "rc") in latest
+    # points key on (workload, protocol, consistency, n_gpus) so a
+    # cluster run never shadows the single-GPU point
+    assert ("BFS", "gtsc", "rc", 1) in latest
 
 
 def test_comparison_rows_carry_key_metrics(tmp_path):

@@ -117,3 +117,81 @@ def test_sixteen_bit_default_never_overflows_small_runs():
     kernel = random_kernel(1, warps=4, length=60)
     _, stats = run_and_check(config, kernel)
     assert stats.counter("ts_overflows") == 0
+
+
+# ---------------------------------------------------------------------------
+# shared clock across GPUs (repro.multigpu): one domain, many machines
+# ---------------------------------------------------------------------------
+
+def test_reset_snapshot_tolerates_listener_registration():
+    domain = TimestampDomain(ts_max=100, lease=10)
+    fired = []
+    domain.on_reset(lambda: (fired.append("a"),
+                             domain.on_reset(lambda: fired.append("late"))))
+    domain.overflow_reset()
+    assert fired == ["a"]          # the new listener waits a round
+    domain.overflow_reset()
+    assert fired == ["a", "a", "late"]
+
+
+def test_reentrant_reset_fails_loudly():
+    domain = TimestampDomain(ts_max=100, lease=10)
+    domain.on_reset(domain.overflow_reset)
+    with pytest.raises(RuntimeError, match="re-entrant"):
+        domain.overflow_reset()
+    assert domain.epoch == 1       # the outer reset completed its bump
+
+
+def _hammer_kernel(warps: int) -> Kernel:
+    trace = []
+    for _ in range(60):
+        trace.append(store(0))
+        trace.append(load(0))
+    trace.append(fence())
+    return Kernel("hammer-x", [list(trace) for _ in range(warps)])
+
+
+def test_two_gpu_shared_clock_overflow_stays_coherent():
+    """A 255-wide epoch shared by two GPUs overflows repeatedly; every
+    reset must rewrite both GPUs' banks plus the home directory in one
+    atomic sweep, and all coherence invariants must survive."""
+    config = overflow_config(consistency=Consistency.RC, n_gpus=2)
+    gpu, stats = run_and_check(config, _hammer_kernel(4))
+    assert stats.counter("ts_overflows") >= 2
+    assert stats.counter("interlink_bytes") > 0   # traffic crossed GPUs
+    # one shared clock: every machine sees the same domain object/epoch
+    domains = {id(m.timestamp_domain) for m in gpu.machines}
+    assert len(domains) == 1
+    assert gpu.machines[0].timestamp_domain.epoch == \
+        stats.counter("ts_overflows")
+    # the shared home directory was reset along with the banks: its
+    # rising floor restarted and cannot exceed the post-reset clock
+    assert gpu.home.floor >= 1
+
+
+def test_two_gpu_overflow_audit_replay_is_clean():
+    """Cross-GPU audit replay (home-directory shadow + cluster-wide
+    write monotonicity) stays violation-free across epoch resets."""
+    from repro.obs import Observability, replay_audit
+    from repro.obs.audit import ProtocolAuditLog
+    from repro.gpu.gpu import make_gpu
+
+    config = overflow_config(consistency=Consistency.RC, n_gpus=2,
+                             home_ts_entries=8)
+    obs = Observability(audit=ProtocolAuditLog())
+    gpu = make_gpu(config, obs=obs)
+    stats = gpu.run(_hammer_kernel(4))
+    assert stats.counter("ts_overflows") >= 2
+    replayed = replay_audit(obs.audit.records, lease=config.lease,
+                            home_capacity=config.home_ts_entries)
+    assert replayed == len(obs.audit.records) > 0
+
+
+def test_two_gpu_overflow_is_deterministic():
+    config = overflow_config(consistency=Consistency.RC, n_gpus=2)
+    kernel = _hammer_kernel(4)
+    from repro.gpu.gpu import make_gpu
+    a = make_gpu(config, record_accesses=False).run(kernel)
+    b = make_gpu(config, record_accesses=False).run(kernel)
+    assert a.cycles == b.cycles
+    assert a.counters == b.counters
